@@ -1,0 +1,148 @@
+// Benchmarks regenerating every scenario of the paper's evaluation — one
+// benchmark per experiment in EXPERIMENTS.md.  Each iteration runs the
+// full scenario (deployment, workload, trace validation, guarantee
+// checks); the reported ns/op is the cost of reproducing the experiment,
+// and failed shape assertions abort the run.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package cmtk_test
+
+import (
+	"strings"
+	"testing"
+
+	"cmtk/internal/harness"
+)
+
+// requireShape fails the benchmark if a table reports violated guarantees
+// where the paper claims they hold (rows whose guarantee columns are
+// expected to fail are exempted by the experiments themselves).
+func requireNoViolationMarks(b *testing.B, tbl harness.Table, exemptCols ...string) {
+	b.Helper()
+	exempt := map[int]bool{}
+	for i, c := range tbl.Columns {
+		for _, e := range exemptCols {
+			if c == e {
+				exempt[i] = true
+			}
+		}
+	}
+	for _, row := range tbl.Rows {
+		for i, cell := range row {
+			if exempt[i] {
+				continue
+			}
+			if strings.Contains(cell, "FAILS") {
+				b.Fatalf("%s: unexpected failure in column %q: %v", tbl.ID, tbl.Columns[i], row)
+			}
+		}
+	}
+}
+
+func BenchmarkE1NotifyPropagation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := harness.E1(60)
+		requireNoViolationMarks(b, tbl)
+	}
+}
+
+func BenchmarkE2Polling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// The leads column is expected to fail at long periods — that IS
+		// the paper's claim.
+		tbl := harness.E2(50)
+		requireNoViolationMarks(b, tbl, "leads")
+	}
+}
+
+func BenchmarkE3CachedPropagation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := harness.E3(100)
+		requireNoViolationMarks(b, tbl)
+	}
+}
+
+func BenchmarkE4Demarcation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := harness.E4(100)
+		requireNoViolationMarks(b, tbl)
+	}
+}
+
+func BenchmarkE5Referential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := harness.E5(5)
+		requireNoViolationMarks(b, tbl)
+	}
+}
+
+func BenchmarkE6Monitor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := harness.E6(6)
+		requireNoViolationMarks(b, tbl)
+	}
+}
+
+func BenchmarkE7Periodic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// The daytime control is expected to fail: balances diverge
+		// between batches during business hours.
+		tbl := harness.E7(3)
+		requireNoViolationMarks(b, tbl, "daytime control")
+	}
+}
+
+func BenchmarkE8Failures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := harness.E8()
+		if len(tbl.Rows) != 5 {
+			b.Fatalf("E8 rows = %d", len(tbl.Rows))
+		}
+	}
+}
+
+func BenchmarkE9Retarget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := harness.E9(40)
+		requireNoViolationMarks(b, tbl)
+	}
+}
+
+func BenchmarkF1Architecture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := harness.F1(60)
+		requireNoViolationMarks(b, tbl)
+	}
+}
+
+func BenchmarkF2Pipeline(b *testing.B) {
+	if testing.Short() {
+		b.Skip("real-clock TCP experiment")
+	}
+	for i := 0; i < b.N; i++ {
+		tbl := harness.F2(20)
+		requireNoViolationMarks(b, tbl)
+	}
+}
+
+func BenchmarkE10InOrderAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := harness.E10(16)
+		// The scrambled row is expected to fail strict order — that is the
+		// ablation's point.
+		requireNoViolationMarks(b, tbl, "strict order")
+	}
+}
+
+func BenchmarkE11ClockSkew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := harness.E11(3)
+		// The over-margin skew row is expected to fail.
+		requireNoViolationMarks(b, tbl, "night guarantee")
+		if len(tbl.Rows) != 3 {
+			b.Fatalf("E11 rows = %d", len(tbl.Rows))
+		}
+	}
+}

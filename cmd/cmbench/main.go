@@ -1,0 +1,57 @@
+// Command cmbench runs the experiment suite that reproduces the paper's
+// scenarios (see DESIGN.md §4 and EXPERIMENTS.md) and prints the result
+// tables.
+//
+// Usage:
+//
+//	cmbench [-scale N] [-exp E1,E2,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cmtk/internal/harness"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "workload scale factor")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (E1..E11, F1, F2) or 'all'")
+	flag.Parse()
+
+	runners := map[string]func() harness.Table{
+		"E1":  func() harness.Table { return harness.E1(100 * *scale) },
+		"E2":  func() harness.Table { return harness.E2(60 * *scale) },
+		"E3":  func() harness.Table { return harness.E3(150 * *scale) },
+		"E4":  func() harness.Table { return harness.E4(200 * *scale) },
+		"E5":  func() harness.Table { return harness.E5(8 * *scale) },
+		"E6":  func() harness.Table { return harness.E6(10 * *scale) },
+		"E7":  func() harness.Table { return harness.E7(4 * *scale) },
+		"E8":  func() harness.Table { return harness.E8() },
+		"E9":  func() harness.Table { return harness.E9(60 * *scale) },
+		"E10": func() harness.Table { return harness.E10(20 * *scale) },
+		"E11": func() harness.Table { return harness.E11(4 * *scale) },
+		"F1":  func() harness.Table { return harness.F1(100 * *scale) },
+		"F2":  func() harness.Table { return harness.F2(30 * *scale) },
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "F1", "F2"}
+
+	var selected []string
+	if *exps == "all" {
+		selected = order
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "cmbench: unknown experiment %q (want E1..E9, F1, F2)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, id)
+		}
+	}
+	for _, id := range selected {
+		fmt.Println(runners[id]())
+	}
+}

@@ -1,0 +1,142 @@
+// Command cmctl inspects toolkit configuration: it validates Strategy
+// Specifications and CM-RIDs, shows the capability set each interface
+// declaration implies, and — given a constraint — lists the applicable
+// strategies with their guarantees, reproducing the Section 4.1
+// initialization dialogue ("The CM then suggests strategies that are
+// applicable to these interfaces, along with the associated guarantees").
+//
+// Usage:
+//
+//	cmctl check -spec strategy.spec
+//	cmctl check -rid b.rid
+//	cmctl suggest -x salary1 -xrid a.rid -y salary2 -yrid b.rid [-arity 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cmtk/internal/guarantee"
+	"cmtk/internal/rid"
+	"cmtk/internal/rule"
+	"cmtk/internal/strategy"
+	"cmtk/internal/translator"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "check":
+		check(os.Args[2:])
+	case "suggest":
+		suggest(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cmctl check [-spec FILE] [-rid FILE]")
+	fmt.Fprintln(os.Stderr, "       cmctl suggest -x BASE -xrid FILE -y BASE -yrid FILE [-arity N]")
+	os.Exit(2)
+}
+
+func check(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	specPath := fs.String("spec", "", "strategy specification to validate")
+	ridPath := fs.String("rid", "", "CM-RID to validate")
+	fs.Parse(args)
+	if *specPath == "" && *ridPath == "" {
+		usage()
+	}
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec, err := rule.ParseSpec(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("cmctl: %s: %v", *specPath, err)
+		}
+		fmt.Printf("%s: valid strategy specification\n", *specPath)
+		fmt.Printf("  sites: %v\n", spec.Sites)
+		fmt.Printf("  items: %d database, %d CM-private\n", len(spec.Items), len(spec.Private))
+		fmt.Printf("  rules:\n")
+		for _, r := range spec.Rules {
+			fmt.Printf("    %s\n", r)
+		}
+		for _, src := range spec.Guarantees {
+			g, err := guarantee.Parse(src)
+			if err != nil {
+				log.Fatalf("cmctl: %s: guarantee %q: %v", *specPath, src, err)
+			}
+			fmt.Printf("  guarantee %s:  %s\n", g.Name(), g.Formula())
+		}
+	}
+	if *ridPath != "" {
+		cfg, err := rid.ParseFile(*ridPath)
+		if err != nil {
+			log.Fatalf("cmctl: %s: %v", *ridPath, err)
+		}
+		fmt.Printf("%s: valid CM-RID (kind %s, site %s)\n", *ridPath, cfg.Kind, cfg.Site)
+		for base := range cfg.Items {
+			caps := translator.CapsFromStatements(cfg.Statements, base)
+			fmt.Printf("  item %s: capabilities %s\n", base, caps)
+		}
+		for _, st := range cfg.Statements {
+			fmt.Printf("  interface %s\n", st)
+		}
+	}
+}
+
+func suggest(args []string) {
+	fs := flag.NewFlagSet("suggest", flag.ExitOnError)
+	x := fs.String("x", "", "primary item base")
+	y := fs.String("y", "", "replica item base")
+	xridPath := fs.String("xrid", "", "CM-RID binding the primary")
+	yridPath := fs.String("yrid", "", "CM-RID binding the replica")
+	arity := fs.Int("arity", 1, "key arity of the families")
+	fs.Parse(args)
+	if *x == "" || *y == "" || *xridPath == "" || *yridPath == "" {
+		usage()
+	}
+	xcfg, err := rid.ParseFile(*xridPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ycfg, err := rid.ParseFile(*yridPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xCaps := translator.CapsFromStatements(xcfg.Statements, *x)
+	yCaps := translator.CapsFromStatements(ycfg.Statements, *y)
+	fmt.Printf("constraint: %s(n) = %s(n) for all n\n", *x, *y)
+	fmt.Printf("  %s at site %s offers: %s\n", *x, xcfg.Site, xCaps)
+	fmt.Printf("  %s at site %s offers: %s\n", *y, ycfg.Site, yCaps)
+	choices := strategy.SuggestCopy(
+		strategy.Copy{X: *x, Y: *y, Arity: *arity},
+		xCaps, yCaps, xcfg.Site, ycfg.Site, strategy.Options{},
+	)
+	if len(choices) == 0 {
+		fmt.Println("no applicable strategy: the declared interfaces support neither propagation, polling nor monitoring")
+		os.Exit(1)
+	}
+	for i, ch := range choices {
+		fmt.Printf("\nstrategy %d: %s — %s\n", i+1, ch.Name, ch.Description)
+		for _, r := range ch.Rules {
+			fmt.Printf("  rule %s\n", r)
+		}
+		for base, site := range ch.Private {
+			fmt.Printf("  private %s @ %s\n", base, site)
+		}
+		fmt.Println("  guarantees:")
+		for _, g := range ch.Guarantees {
+			fmt.Printf("    %s:  %s\n", g.Name(), g.Formula())
+		}
+	}
+}

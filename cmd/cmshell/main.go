@@ -1,0 +1,113 @@
+// Command cmshell runs one CM-Shell process of a distributed deployment:
+// it loads a Strategy Specification and the CM-RIDs for the sites it
+// hosts, dials the Raw Information Sources, joins the shell mesh over
+// TCP, and executes its share of the strategy rules (Figure 2's top
+// layer).
+//
+// Usage:
+//
+//	cmshell -id shellA -spec strategy.spec \
+//	        -rid a.rid -host A \
+//	        -listen 127.0.0.1:9001 \
+//	        -peer shellB=127.0.0.1:9002 -route B=shellB
+//
+// Every -rid names a CM-RID file; -host marks which of its sites this
+// shell hosts (defaults to all RIDs given).  -peer maps peer shell IDs to
+// their mesh addresses, and -route maps remote sites to the peer shells
+// hosting them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+
+	"cmtk/internal/cmi"
+	"cmtk/internal/rid"
+	"cmtk/internal/rule"
+	"cmtk/internal/shell"
+	"cmtk/internal/translator"
+	"cmtk/internal/transport"
+)
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ",") }
+func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	id := flag.String("id", "", "shell ID (required)")
+	specPath := flag.String("spec", "", "strategy specification file (required)")
+	listen := flag.String("listen", "127.0.0.1:0", "mesh listen address")
+	var ridPaths, peers, routes repeated
+	flag.Var(&ridPaths, "rid", "CM-RID file for a hosted site (repeatable)")
+	flag.Var(&peers, "peer", "peer shell as id=addr (repeatable)")
+	flag.Var(&routes, "route", "remote site as site=shellID (repeatable)")
+	flag.Parse()
+	if *id == "" || *specPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	specFile, err := os.Open(*specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := rule.ParseSpec(specFile)
+	specFile.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sh := shell.New(*id, spec, shell.Options{})
+	for _, p := range ridPaths {
+		cfg, err := rid.ParseFile(p)
+		if err != nil {
+			log.Fatalf("cmshell: %s: %v", p, err)
+		}
+		if cfg.Local() {
+			log.Fatalf("cmshell: %s: distributed shells need networked sources (addr ...)", p)
+		}
+		iface, err := translator.Open(cfg, nil, nil)
+		if err != nil {
+			log.Fatalf("cmshell: connecting to %s: %v", cfg.Site, err)
+		}
+		sh.AddSite(cfg.Site, iface)
+		fmt.Printf("cmshell: hosting site %s via %s source at %s\n", cfg.Site, cfg.Kind, cfg.Addr)
+	}
+
+	addrs := map[string]string{}
+	for _, p := range peers {
+		name, addr, ok := strings.Cut(p, "=")
+		if !ok {
+			log.Fatalf("cmshell: bad -peer %q (want id=addr)", p)
+		}
+		addrs[name] = addr
+	}
+	for _, r := range routes {
+		site, shellID, ok := strings.Cut(r, "=")
+		if !ok {
+			log.Fatalf("cmshell: bad -route %q (want site=shellID)", r)
+		}
+		sh.Route(site, shellID)
+	}
+	mesh, err := transport.NewTCP(*id, *listen, addrs, sh.Receive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sh.AttachEndpoint(mesh)
+	fmt.Printf("cmshell: %s listening on %s\n", *id, mesh.Addr())
+
+	sh.OnFailure(func(f cmi.Failure) { log.Printf("cmshell: %s", f) })
+	if err := sh.Start(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cmshell: running; ^C to stop")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	sh.Stop()
+}

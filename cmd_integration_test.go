@@ -1,0 +1,178 @@
+// Multi-process integration test: builds the real binaries and runs the
+// paper's Figure 2 deployment as separate OS processes — two risd
+// database servers and two cmshell constraint-manager shells — then
+// verifies an application update at one database reaches the other.
+package cmtk_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cmtk/internal/data"
+	"cmtk/internal/ris/server"
+)
+
+// startProc launches a binary and returns a channel of its stdout lines
+// plus a stop function.  One goroutine drains the pipe for the process's
+// whole lifetime, so successive expectLine calls never compete.
+func startProc(t *testing.T, name string, args ...string) (<-chan string, func()) {
+	t.Helper()
+	cmd := exec.Command(name, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	stop := func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	return lines, stop
+}
+
+// expectLine reads lines until one contains marker, returning it.
+func expectLine(t *testing.T, lines <-chan string, marker string) string {
+	t.Helper()
+	deadline := time.After(15 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("process exited before printing %q", marker)
+			}
+			if strings.Contains(line, marker) {
+				return line
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for %q", marker)
+		}
+	}
+}
+
+// lastField extracts the last whitespace-separated field of a line.
+func lastField(line string) string {
+	fs := strings.Fields(line)
+	return fs[len(fs)-1]
+}
+
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin, "./cmd/risd", "./cmd/cmshell")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building binaries: %v", err)
+	}
+
+	// Two autonomous database servers.
+	scA, stopA := startProc(t, filepath.Join(bin, "risd"), "-kind", "relstore", "-name", "branch", "-demo")
+	defer stopA()
+	addrA := lastField(expectLine(t, scA, "serving"))
+	scB, stopB := startProc(t, filepath.Join(bin, "risd"), "-kind", "relstore", "-name", "hq", "-demo")
+	defer stopB()
+	addrB := lastField(expectLine(t, scB, "serving"))
+
+	// Configuration files: the spec and one CM-RID per site.
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "strategy.spec")
+	writeFile(t, specPath, `
+site A
+site B
+item salary1 @ A
+item salary2 @ B
+rule prop: N(salary1(n), b) ->5s WR(salary2(n), b)
+`)
+	ridAPath := filepath.Join(dir, "a.rid")
+	writeFile(t, ridAPath, fmt.Sprintf(`
+kind relstore
+site A
+addr %s
+item salary1
+  type int
+  read   SELECT salary FROM employees WHERE empid = $n
+  list   SELECT empid FROM employees
+  watch  employees
+  keycol empid
+  valcol salary
+interface Ws(salary1(n), b) ->2s N(salary1(n), b)
+`, addrA))
+	ridBPath := filepath.Join(dir, "b.rid")
+	writeFile(t, ridBPath, fmt.Sprintf(`
+kind relstore
+site B
+addr %s
+item salary2
+  type int
+  read   SELECT salary FROM employees WHERE empid = $n
+  write  UPDATE employees SET salary = $b WHERE empid = $n
+  insert INSERT INTO employees (empid, salary) VALUES ($n, $b)
+  delete DELETE FROM employees WHERE empid = $n
+  list   SELECT empid FROM employees
+interface WR(salary2(n), b) ->3s W(salary2(n), b)
+`, addrB))
+
+	// Shell B first (it only receives), then shell A with B as a peer.
+	scShB, stopShB := startProc(t, filepath.Join(bin, "cmshell"),
+		"-id", "shellB", "-spec", specPath, "-rid", ridBPath)
+	defer stopShB()
+	shBAddr := lastField(expectLine(t, scShB, "listening"))
+	expectLine(t, scShB, "running")
+
+	scShA, stopShA := startProc(t, filepath.Join(bin, "cmshell"),
+		"-id", "shellA", "-spec", specPath, "-rid", ridAPath,
+		"-peer", "shellB="+shBAddr, "-route", "B=shellB")
+	defer stopShA()
+	expectLine(t, scShA, "running")
+
+	// An application updates the branch database directly over SQL.
+	appA, err := server.DialRel(addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer appA.Close()
+	if _, err := appA.Exec("UPDATE employees SET salary = 12345 WHERE empid = 'e1'"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The update must surface at HQ through the two shells.
+	appB, err := server.DialRel(addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer appB.Close()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		res, err := appB.Exec("SELECT salary FROM employees WHERE empid = 'e1'")
+		if err == nil && len(res.Rows) == 1 && res.Rows[0][0].Equal(data.NewInt(12345)) {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("update never propagated across processes")
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+// Validates the sample configuration files shipped under configs/ and
+// exercises cmctl's inspection paths against them.
+package cmtk_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cmtk/internal/guarantee"
+	"cmtk/internal/rid"
+	"cmtk/internal/rule"
+	"cmtk/internal/strategy"
+	"cmtk/internal/translator"
+)
+
+func TestShippedConfigsParse(t *testing.T) {
+	specFile, err := os.Open(filepath.Join("configs", "payroll", "strategy.spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer specFile.Close()
+	spec, err := rule.ParseSpec(specFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Rules) != 1 || len(spec.Guarantees) != 4 {
+		t.Fatalf("spec: %d rules, %d guarantees", len(spec.Rules), len(spec.Guarantees))
+	}
+	for _, src := range spec.Guarantees {
+		if _, err := guarantee.Parse(src); err != nil {
+			t.Errorf("guarantee %q: %v", src, err)
+		}
+	}
+	cfgA, err := rid.ParseFile(filepath.Join("configs", "payroll", "a.rid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB, err := rid.ParseFile(filepath.Join("configs", "payroll", "b.rid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shipped interfaces admit the propagation strategies (the cmctl
+	// suggest flow).
+	xCaps := translator.CapsFromStatements(cfgA.Statements, "salary1")
+	yCaps := translator.CapsFromStatements(cfgB.Statements, "salary2")
+	choices := strategy.SuggestCopy(
+		strategy.Copy{X: "salary1", Y: "salary2", Arity: 1},
+		xCaps, yCaps, cfgA.Site, cfgB.Site, strategy.Options{},
+	)
+	if len(choices) < 2 || choices[0].Name != "notify-propagation" {
+		t.Fatalf("choices = %v", choices)
+	}
+}

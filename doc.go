@@ -1,0 +1,11 @@
+// Package cmtk is a reproduction of "A Toolkit for Constraint Management
+// in Heterogeneous Information Systems" (Chawathe, Garcia-Molina, Widom;
+// ICDE 1996): a framework and toolkit for monitoring and enforcing
+// distributed integrity constraints across loosely coupled, heterogeneous
+// information systems that offer no common transaction or query facility.
+//
+// The implementation lives under internal/; see README.md for the
+// architecture, DESIGN.md for the paper-to-module map, and EXPERIMENTS.md
+// for the reproduced scenario results.  The root-level bench_test.go
+// regenerates every experiment as a Go benchmark.
+package cmtk

@@ -1,0 +1,180 @@
+// Payroll: the full Section 4.2 scenario over real TCP.
+//
+// A company stores personnel data in a San Francisco branch database (A)
+// and at the New York headquarters (B).  Both are autonomous relational
+// servers speaking SQL over the wire; the toolkit maintains
+// salary1(n) = salary2(n) without modifying either database.
+//
+// Part 1 uses A's notify interface (a database trigger declared by the
+// CM-Translator) with the update-propagation strategy: guarantees
+// (1)–(4) all hold.
+//
+// Part 2 replays the paper's twist: the administrator at A withdraws the
+// notify interface, leaving only read.  The toolkit falls back to the
+// polling strategy; guarantee (2) is no longer claimed — and the run
+// demonstrates why, by squeezing two updates into one polling interval.
+//
+// Run with:
+//
+//	go run ./examples/payroll
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cmtk/internal/core"
+	"cmtk/internal/data"
+	"cmtk/internal/guarantee"
+	"cmtk/internal/rid"
+	"cmtk/internal/ris/relstore"
+	"cmtk/internal/ris/server"
+	"cmtk/internal/strategy"
+	"cmtk/internal/transport"
+	"cmtk/internal/vclock"
+)
+
+const ridANotify = `
+kind relstore
+site A
+addr %s
+item salary1
+  type int
+  read   SELECT salary FROM employees WHERE empid = $n
+  list   SELECT empid FROM employees
+  watch  employees
+  keycol empid
+  valcol salary
+interface Ws(salary1(n), b) ->2s N(salary1(n), b)
+`
+
+const ridAReadOnly = `
+kind relstore
+site A
+addr %s
+item salary1
+  type int
+  read   SELECT salary FROM employees WHERE empid = $n
+  list   SELECT empid FROM employees
+interface RR(salary1(n)) && salary1(n) = b ->1s R(salary1(n), b)
+`
+
+const ridB = `
+kind relstore
+site B
+addr %s
+item salary2
+  type int
+  read   SELECT salary FROM employees WHERE empid = $n
+  write  UPDATE employees SET salary = $b WHERE empid = $n
+  insert INSERT INTO employees (empid, salary) VALUES ($n, $b)
+  delete DELETE FROM employees WHERE empid = $n
+  list   SELECT empid FROM employees
+interface WR(salary2(n), b) ->3s W(salary2(n), b)
+`
+
+func main() {
+	// The two autonomous database servers, reachable only over TCP.
+	dbA := relstore.New("sf-branch")
+	mustExec(dbA, "CREATE TABLE employees (empid TEXT, salary INT, PRIMARY KEY (empid))")
+	srvA, err := server.ServeRel("127.0.0.1:0", dbA)
+	check(err)
+	defer srvA.Close()
+
+	dbB := relstore.New("ny-hq")
+	mustExec(dbB, "CREATE TABLE employees (empid TEXT, salary INT, PRIMARY KEY (empid))")
+	srvB, err := server.ServeRel("127.0.0.1:0", dbB)
+	check(err)
+	defer srvB.Close()
+
+	fmt.Printf("branch database at %s, HQ database at %s\n\n", srvA.Addr(), srvB.Addr())
+
+	// ---- Part 1: notify interface, update propagation ----
+	fmt.Println("== part 1: notify interface at A ==")
+	cfgA, err := rid.ParseString(fmt.Sprintf(ridANotify, srvA.Addr()))
+	check(err)
+	cfgB, err := rid.ParseString(fmt.Sprintf(ridB, srvB.Addr()))
+	check(err)
+
+	tk := core.New(core.Config{Clock: vclock.Real{}, Network: transport.NewTCPNetwork()})
+	check(tk.AddSite(core.Site{RID: cfgA}))
+	check(tk.AddSite(core.Site{RID: cfgB}))
+	check(tk.AddCopy(core.CopyConstraint{X: "salary1", Y: "salary2", Arity: 1, Strategy: "notify"}))
+	check(tk.Deploy())
+	check(tk.Start())
+
+	mustExec(dbA, "INSERT INTO employees VALUES ('e7', 100)")
+	mustExec(dbA, "UPDATE employees SET salary = 120 WHERE empid = 'e7'")
+	waitFor(dbB, "e7", 120)
+	fmt.Println("update propagated: HQ sees e7 salary = 120")
+	for _, rep := range tk.CheckGuarantees() {
+		fmt.Printf("  %s\n", rep)
+	}
+	tk.Stop()
+
+	// ---- Part 2: the administrator withdraws notify; polling remains ----
+	fmt.Println("\n== part 2: interface change at A — read-only, polling strategy ==")
+	cfgA2, err := rid.ParseString(fmt.Sprintf(ridAReadOnly, srvA.Addr()))
+	check(err)
+	cfgB2, err := rid.ParseString(fmt.Sprintf(ridB, srvB.Addr()))
+	check(err)
+	tk2 := core.New(core.Config{Clock: vclock.Real{}, Network: transport.NewTCPNetwork()})
+	check(tk2.AddSite(core.Site{RID: cfgA2}))
+	check(tk2.AddSite(core.Site{RID: cfgB2}))
+	check(tk2.AddCopy(core.CopyConstraint{
+		X: "salary1", Y: "salary2", Arity: 1, Strategy: "poll",
+		Options: strategy.Options{
+			PollPeriod: 300 * time.Millisecond,
+			PollKeys:   []data.Value{data.NewString("e7")},
+		},
+	}))
+	check(tk2.Deploy())
+	check(tk2.Start())
+	defer tk2.Stop()
+
+	// Two updates inside one polling interval: the middle value is lost.
+	appWrite(tk2, dbA, "e7", 120, 130)
+	appWrite(tk2, dbA, "e7", 130, 140)
+	waitFor(dbB, "e7", 140)
+	time.Sleep(2 * time.Second) // several more polling rounds pass
+	fmt.Println("after two rapid updates, HQ sees only the final value 140")
+
+	follows := guarantee.Follows{X: "salary1", Y: "salary2"}.Check(tk2.Trace())
+	leads := guarantee.Leads{X: "salary1", Y: "salary2", Settle: time.Second}.Check(tk2.Trace())
+	fmt.Printf("  %s\n", follows)
+	fmt.Printf("  %s   <- the paper's point: polling loses guarantee (2)\n", leads)
+}
+
+// appWrite performs an application write at A and records the spontaneous
+// event (the CM cannot observe it through a read-only interface).
+func appWrite(tk *core.Toolkit, db *relstore.DB, key string, old, val int64) {
+	mustExec(db, fmt.Sprintf("UPDATE employees SET salary = %d WHERE empid = '%s'", val, key))
+	check(tk.RecordSpontaneous("A", data.Item("salary1", data.NewString(key)),
+		data.NewInt(old), data.NewInt(val)))
+}
+
+func waitFor(db *relstore.DB, key string, want int64) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		res, err := db.Exec(fmt.Sprintf("SELECT salary FROM employees WHERE empid = '%s'", key))
+		check(err)
+		if len(res.Rows) == 1 && res.Rows[0][0].Equal(data.NewInt(want)) {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatalf("value %d never reached the replica", want)
+}
+
+func mustExec(db *relstore.DB, sql string) {
+	if _, err := db.Exec(sql); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module cmtk
+
+go 1.22

@@ -1,0 +1,53 @@
+package cmi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cmtk/internal/ris"
+)
+
+func TestClassify(t *testing.T) {
+	if Classify(ris.Transient(errors.New("x"))) != FailMetric {
+		t.Error("transient not metric")
+	}
+	if Classify(errors.New("x")) != FailLogical {
+		t.Error("plain error not logical")
+	}
+	if Classify(fmt.Errorf("wrap: %w", ris.Transient(errors.New("x")))) != FailMetric {
+		t.Error("wrapped transient not metric")
+	}
+	if Classify(ris.ErrUnavailable) != FailLogical {
+		t.Error("unavailable not logical")
+	}
+}
+
+func TestFailureKindString(t *testing.T) {
+	if FailMetric.String() != "metric" || FailLogical.String() != "logical" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func TestFailureString(t *testing.T) {
+	f := Failure{
+		Kind: FailMetric, Site: "A", When: time.Now(),
+		Op: "read", Err: errors.New("timeout"),
+	}
+	s := f.String()
+	for _, want := range []string{"metric", "A", "read", "timeout"} {
+		if !contains(s, want) {
+			t.Errorf("Failure.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

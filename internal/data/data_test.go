@@ -1,0 +1,318 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{NullValue, Null},
+		{NewBool(true), Bool},
+		{NewInt(7), Int},
+		{NewFloat(2.5), Float},
+		{NewString("x"), String},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%s: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+	if !NullValue.IsNull() || NewInt(0).IsNull() {
+		t.Error("IsNull misbehaves")
+	}
+}
+
+func TestValueEqualNumericCoercion(t *testing.T) {
+	if !NewInt(3).Equal(NewFloat(3)) {
+		t.Error("int 3 != float 3")
+	}
+	if NewInt(3).Equal(NewFloat(3.5)) {
+		t.Error("int 3 == float 3.5")
+	}
+	if NewInt(0).Equal(NewBool(false)) {
+		t.Error("int 0 == bool false")
+	}
+	if !NewString("a").Equal(NewString("a")) || NewString("a").Equal(NewString("b")) {
+		t.Error("string equality broken")
+	}
+	if !NullValue.Equal(NullValue) || NullValue.Equal(NewInt(0)) {
+		t.Error("null equality broken")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	lt := func(a, b Value) {
+		t.Helper()
+		c, ok := a.Compare(b)
+		if !ok || c >= 0 {
+			t.Errorf("Compare(%s,%s) = %d,%v want <0,true", a, b, c, ok)
+		}
+	}
+	lt(NewInt(1), NewInt(2))
+	lt(NewInt(1), NewFloat(1.5))
+	lt(NewFloat(-1), NewInt(0))
+	lt(NewString("a"), NewString("b"))
+	lt(NewBool(false), NewBool(true))
+	if _, ok := NewString("a").Compare(NewInt(1)); ok {
+		t.Error("string vs int comparable")
+	}
+	if _, ok := NullValue.Compare(NullValue); ok {
+		t.Error("null vs null comparable")
+	}
+	if c, ok := NewInt(5).Compare(NewInt(5)); !ok || c != 0 {
+		t.Error("equal ints compare nonzero")
+	}
+}
+
+func TestArith(t *testing.T) {
+	got, err := Arith('+', NewInt(2), NewInt(3))
+	if err != nil || !got.Equal(NewInt(5)) {
+		t.Errorf("2+3 = %s, %v", got, err)
+	}
+	got, err = Arith('*', NewInt(2), NewFloat(1.5))
+	if err != nil || !got.Equal(NewFloat(3)) {
+		t.Errorf("2*1.5 = %s, %v", got, err)
+	}
+	got, err = Arith('/', NewInt(7), NewInt(2))
+	if err != nil || !got.Equal(NewFloat(3.5)) {
+		t.Errorf("7/2 = %s, %v", got, err)
+	}
+	got, err = Arith('/', NewInt(6), NewInt(2))
+	if err != nil || got.Kind() != Int || got.Int() != 3 {
+		t.Errorf("6/2 = %s (%v), %v", got, got.Kind(), err)
+	}
+	if _, err := Arith('/', NewInt(1), NewInt(0)); err == nil {
+		t.Error("division by zero succeeded")
+	}
+	if _, err := Arith('+', NewString("a"), NewInt(1)); err == nil {
+		t.Error("string arithmetic succeeded")
+	}
+	if _, err := Arith('%', NewInt(1), NewInt(1)); err == nil {
+		t.Error("unknown operator succeeded")
+	}
+}
+
+func TestAbs(t *testing.T) {
+	if v, err := Abs(NewInt(-4)); err != nil || v.Int() != 4 {
+		t.Errorf("abs(-4) = %s, %v", v, err)
+	}
+	if v, err := Abs(NewFloat(-2.5)); err != nil || v.Float() != 2.5 {
+		t.Errorf("abs(-2.5) = %s, %v", v, err)
+	}
+	if _, err := Abs(NewString("x")); err == nil {
+		t.Error("abs of string succeeded")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	for _, v := range []Value{NewBool(true), NewInt(1), NewFloat(0.5), NewString("x")} {
+		if !v.Truthy() {
+			t.Errorf("%s not truthy", v)
+		}
+	}
+	for _, v := range []Value{NullValue, NewBool(false), NewInt(0), NewFloat(0), NewString("")} {
+		if v.Truthy() {
+			t.Errorf("%s truthy", v)
+		}
+	}
+}
+
+func TestLiteralRoundTrip(t *testing.T) {
+	vals := []Value{
+		NullValue, NewBool(true), NewBool(false),
+		NewInt(0), NewInt(-42), NewInt(math.MaxInt64),
+		NewFloat(3.5), NewFloat(-0.25),
+		NewString(""), NewString("hello world"), NewString(`quo"te`), NewString("comma, paren("),
+	}
+	for _, v := range vals {
+		got, err := ParseLiteral(v.String())
+		if err != nil {
+			t.Errorf("ParseLiteral(%s): %v", v, err)
+			continue
+		}
+		if !got.Equal(v) || got.Kind() != v.Kind() {
+			t.Errorf("round trip %s -> %s", v, got)
+		}
+	}
+	for _, bad := range []string{"", "nope nope", `"unterminated`} {
+		if _, err := ParseLiteral(bad); err == nil {
+			t.Errorf("ParseLiteral(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestItemNameString(t *testing.T) {
+	n := Item("salary1", NewString("emp7"))
+	if got := n.String(); got != `salary1("emp7")` {
+		t.Errorf("String = %s", got)
+	}
+	if got := Item("X").String(); got != "X" {
+		t.Errorf("bare String = %s", got)
+	}
+	m := Item("phone", NewString("ann"), NewInt(2))
+	if got := m.String(); got != `phone("ann", 2)` {
+		t.Errorf("two-arg String = %s", got)
+	}
+}
+
+func TestItemNameEqual(t *testing.T) {
+	a := Item("x", NewInt(1))
+	b := Item("x", NewInt(1))
+	c := Item("x", NewInt(2))
+	d := Item("y", NewInt(1))
+	e := Item("x")
+	if !a.Equal(b) || a.Equal(c) || a.Equal(d) || a.Equal(e) {
+		t.Error("ItemName.Equal broken")
+	}
+	// Numeric coercion applies inside arguments too.
+	if !Item("x", NewInt(1)).Equal(Item("x", NewFloat(1))) {
+		t.Error("numeric arg coercion broken")
+	}
+}
+
+func TestParseItemNameRoundTrip(t *testing.T) {
+	names := []ItemName{
+		Item("X"),
+		Item("salary1", NewString("emp7")),
+		Item("phone", NewString("a,b"), NewInt(3)),
+		Item("f", NewFloat(2.5), NewBool(true)),
+	}
+	for _, n := range names {
+		got, err := ParseItemName(n.String())
+		if err != nil {
+			t.Errorf("ParseItemName(%s): %v", n, err)
+			continue
+		}
+		if !got.Equal(n) {
+			t.Errorf("round trip %s -> %s", n, got)
+		}
+	}
+	for _, bad := range []string{"", "x(1", "(1)", "x(nope nope)"} {
+		if _, err := ParseItemName(bad); err == nil {
+			t.Errorf("ParseItemName(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestInterpretationBasics(t *testing.T) {
+	in := NewInterpretation()
+	x := Item("X")
+	if in.Has(x) || !in.Get(x).IsNull() {
+		t.Error("empty interpretation has bindings")
+	}
+	in.Set(x, NewInt(5))
+	if !in.Has(x) || !in.Get(x).Equal(NewInt(5)) {
+		t.Error("Set/Get broken")
+	}
+	in.Set(x, NullValue)
+	if in.Has(x) || len(in) != 0 {
+		t.Error("Set null did not delete")
+	}
+}
+
+func TestInterpretationWithIsCopy(t *testing.T) {
+	in := NewInterpretation()
+	x, y := Item("X"), Item("Y")
+	in.Set(x, NewInt(1))
+	out := in.With(y, NewInt(2))
+	if in.Has(y) {
+		t.Error("With mutated receiver")
+	}
+	if !out.Get(x).Equal(NewInt(1)) || !out.Get(y).Equal(NewInt(2)) {
+		t.Error("With result wrong")
+	}
+	// Mutating the copy must not affect the original.
+	out.Set(x, NewInt(9))
+	if !in.Get(x).Equal(NewInt(1)) {
+		t.Error("Clone aliasing")
+	}
+}
+
+func TestInterpretationEqualAndString(t *testing.T) {
+	a := Interpretation{"X": NewInt(1), "Y": NewString("a")}
+	b := Interpretation{"Y": NewString("a"), "X": NewInt(1)}
+	c := Interpretation{"X": NewInt(2), "Y": NewString("a")}
+	if !a.Equal(b) || a.Equal(c) || a.Equal(Interpretation{}) {
+		t.Error("Equal broken")
+	}
+	if got := a.String(); got != `{X=1, Y="a"}` {
+		t.Errorf("String = %s", got)
+	}
+	if got := (Interpretation{}).String(); got != "{}" {
+		t.Errorf("empty String = %s", got)
+	}
+}
+
+func TestNilInterpretationReads(t *testing.T) {
+	var in Interpretation
+	if in.Has(Item("X")) || !in.Get(Item("X")).IsNull() {
+		t.Error("nil interpretation reads broken")
+	}
+}
+
+// Property: ParseLiteral(v.String()) == v for generated values.
+func TestQuickLiteralRoundTrip(t *testing.T) {
+	f := func(i int64, fl float64, s string, b bool, sel uint8) bool {
+		var v Value
+		switch sel % 5 {
+		case 0:
+			v = NullValue
+		case 1:
+			v = NewBool(b)
+		case 2:
+			v = NewInt(i)
+		case 3:
+			if math.IsNaN(fl) || math.IsInf(fl, 0) {
+				return true // literals do not represent these
+			}
+			v = NewFloat(fl)
+		case 4:
+			v = NewString(s)
+		}
+		got, err := ParseLiteral(v.String())
+		if err != nil {
+			return false
+		}
+		// Float formatting may parse back as Int when integral; Equal
+		// tolerates that by numeric coercion.
+		return got.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: With never mutates and Set-then-Get round-trips.
+func TestQuickInterpretationSetGet(t *testing.T) {
+	f := func(keys []string, vals []int64) bool {
+		in := NewInterpretation()
+		for i, k := range keys {
+			if k == "" {
+				continue
+			}
+			var v Value
+			if i < len(vals) {
+				v = NewInt(vals[i])
+			} else {
+				v = NewInt(int64(i))
+			}
+			in.Set(Item(k), v)
+			if !in.Get(Item(k)).Equal(v) {
+				return false
+			}
+		}
+		clone := in.Clone()
+		if !clone.Equal(in) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,652 @@
+// Package guarantee implements the paper's guarantee language (Section
+// 3.3) as checkable predicates over recorded executions.  Where the paper
+// proves guarantees from interface and strategy specifications using proof
+// rules [CGMW94], this package decides — for a concrete recorded trace —
+// whether each guarantee held, turning every test and benchmark run into a
+// machine-checked instance of the paper's claims.
+//
+// The guarantee forms implemented here are exactly those the paper
+// discusses:
+//
+//	Follows          (1)  (Y=y)@t1 ⇒ (X=y)@t2 ∧ t2 < t1
+//	Leads            (2)  (X=x)@t1 ⇒ (Y=x)@t2 ∧ t2 > t1
+//	StrictlyFollows  (3)  order-preserving propagation
+//	MetricFollows    (4)  (Y=y)@t1 ⇒ (X=y)@t2 ∧ t1−κ < t2 < t1
+//	MetricLeads           (X=x)@t1 ⇒ (Y=x)@t2 ∧ t1 < t2 ≤ t1+κ
+//	Invariant             pred@t for all t            (Demarcation, §6.1)
+//	ExistsWithin          E(P(i))@t ⇒ E(S(i))@[t, t+κ]   (referential, §6.2)
+//	MonitorFlag           (Flag ∧ Tb=s)@t ⇒ (X=Y)@@[s, t−κ]  (§6.3)
+//	Periodic              pred holds daily in a wall-clock window (§6.4)
+//
+// Guarantees over parameterized families (salary1(n) = salary2(n) for all
+// n) are checked per observed key.
+package guarantee
+
+import (
+	"fmt"
+	"time"
+
+	"cmtk/internal/data"
+	"cmtk/internal/rule"
+	"cmtk/internal/trace"
+	"cmtk/internal/vclock"
+)
+
+// Guarantee is a checkable consistency statement.
+type Guarantee interface {
+	// Name returns a short identifier, e.g. "follows(X,Y)".
+	Name() string
+	// Formula renders the guarantee in the paper's logical notation.
+	Formula() string
+	// Check decides whether the guarantee held over the trace.
+	Check(tr *trace.Trace) Report
+}
+
+// Report is the outcome of checking one guarantee against one trace.
+type Report struct {
+	Guarantee  string
+	Formula    string
+	Holds      bool
+	Checked    int      // obligations examined
+	Violations []string // human-readable descriptions, capped
+}
+
+const maxViolations = 16
+
+// Violate records a violation (capped) and marks the report failed.
+// Custom guarantee implementations outside this package use it too.
+func (r *Report) Violate(format string, args ...any) {
+	r.Holds = false
+	if len(r.Violations) < maxViolations {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *Report) violate(format string, args ...any) { r.Violate(format, args...) }
+
+func (r Report) String() string {
+	status := "HOLDS"
+	if !r.Holds {
+		status = fmt.Sprintf("VIOLATED (%d shown)", len(r.Violations))
+	}
+	return fmt.Sprintf("%s: %s over %d obligations", r.Guarantee, status, r.Checked)
+}
+
+// TimeValue encodes an instant as a data.Value (integer seconds since the
+// simulation epoch) so CM-private items such as Tb can store times.
+func TimeValue(t time.Time) data.Value { return vclock.TimeValue(t) }
+
+// ValueTime decodes a TimeValue.
+func ValueTime(v data.Value) (time.Time, bool) { return vclock.ValueTime(v) }
+
+// sampleKey orders timeline samples by (time, seq).
+func sampleBefore(a, b trace.Sample) bool {
+	if !a.At.Equal(b.At) {
+		return a.At.Before(b.At)
+	}
+	return a.Seq < b.Seq
+}
+
+// families collects, for a base name, the set of argument keys observed in
+// the trace (from any event on an item with that base), together with the
+// concrete item names.
+func families(tr *trace.Trace, base string) []data.ItemName {
+	seen := map[string]data.ItemName{}
+	for _, e := range tr.Events() {
+		if e.Desc.Op.HasItem() && e.Desc.Item.Base == base {
+			seen[e.Desc.Item.Key()] = e.Desc.Item
+		}
+	}
+	for k := range tr.Initial() {
+		n, err := data.ParseItemName(k)
+		if err == nil && n.Base == base {
+			seen[k] = n
+		}
+	}
+	out := make([]data.ItemName, 0, len(seen))
+	for _, n := range seen {
+		out = append(out, n)
+	}
+	// Deterministic order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Key() < out[j-1].Key(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// pairKeys produces the (x,y) item pairs to check for a copy guarantee
+// between two families: for parameterized bases the keys observed on
+// either side are united (a key seen only on Y still obligates Y-follows-X
+// for that key).
+func pairKeys(tr *trace.Trace, xBase, yBase string) [][2]data.ItemName {
+	xs := families(tr, xBase)
+	ys := families(tr, yBase)
+	keyArgs := map[string][]data.Value{}
+	for _, n := range xs {
+		keyArgs[argsKey(n.Args)] = n.Args
+	}
+	for _, n := range ys {
+		keyArgs[argsKey(n.Args)] = n.Args
+	}
+	var out [][2]data.ItemName
+	for _, args := range keyArgs {
+		out = append(out, [2]data.ItemName{
+			{Base: xBase, Args: args},
+			{Base: yBase, Args: args},
+		})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j][0].Key() < out[j-1][0].Key(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func argsKey(args []data.Value) string {
+	return data.ItemName{Base: "", Args: args}.String()
+}
+
+// Follows is guarantee (1) of Section 3.3.1: at no time does Y hold a value
+// not previously (or initially) taken by X.  X and Y are item base names;
+// parameterized families are checked per key.
+type Follows struct {
+	X, Y string
+}
+
+// Name implements Guarantee.
+func (g Follows) Name() string { return fmt.Sprintf("follows(%s,%s)", g.X, g.Y) }
+
+// Formula implements Guarantee.
+func (g Follows) Formula() string {
+	return fmt.Sprintf("(%s = y)@t1 => (%s = y)@t2 and t2 < t1", g.Y, g.X)
+}
+
+// Check implements Guarantee.
+func (g Follows) Check(tr *trace.Trace) Report {
+	rep := Report{Guarantee: g.Name(), Formula: g.Formula(), Holds: true}
+	for _, pair := range pairKeys(tr, g.X, g.Y) {
+		x, y := pair[0], pair[1]
+		xtl := tr.Timeline(x)
+		for _, ys := range tr.Timeline(y) {
+			if ys.V.IsNull() {
+				continue // Y not yet set
+			}
+			rep.Checked++
+			ok := false
+			for _, xs := range xtl {
+				if sampleBefore(ys, xs) {
+					break
+				}
+				if xs.V.Equal(ys.V) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				rep.violate("%s held %s at %s which %s never held before",
+					y, ys.V, ys.At.Format(time.TimeOnly), x)
+			}
+		}
+	}
+	return rep
+}
+
+// Leads is guarantee (2): every value taken by X is eventually reflected
+// in Y — no lost values.  Settle excuses X-values taken within Settle of
+// the end of the trace, whose propagation window is still open.
+type Leads struct {
+	X, Y   string
+	Settle time.Duration
+}
+
+// Name implements Guarantee.
+func (g Leads) Name() string { return fmt.Sprintf("leads(%s,%s)", g.X, g.Y) }
+
+// Formula implements Guarantee.
+func (g Leads) Formula() string {
+	return fmt.Sprintf("(%s = x)@t1 => (%s = x)@t2 and t2 > t1", g.X, g.Y)
+}
+
+// Check implements Guarantee.
+func (g Leads) Check(tr *trace.Trace) Report {
+	rep := Report{Guarantee: g.Name(), Formula: g.Formula(), Holds: true}
+	horizon := tr.End().Add(-g.Settle)
+	for _, pair := range pairKeys(tr, g.X, g.Y) {
+		x, y := pair[0], pair[1]
+		ytl := tr.Timeline(y)
+		for _, xs := range tr.Timeline(x) {
+			if xs.V.IsNull() {
+				continue
+			}
+			if xs.At.After(horizon) {
+				continue // propagation window still open
+			}
+			rep.Checked++
+			ok := false
+			for _, ys := range ytl {
+				if sampleBefore(xs, ys) && ys.V.Equal(xs.V) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				rep.violate("%s took %s at %s but %s never reflected it",
+					x, xs.V, xs.At.Format(time.TimeOnly), y)
+			}
+		}
+	}
+	return rep
+}
+
+// StrictlyFollows is guarantee (3): Y receives X's values in the order X
+// took them.  We check the strongest natural reading: the sequence of
+// distinct values Y takes is a subsequence of the sequence of distinct
+// values X takes.
+type StrictlyFollows struct {
+	X, Y string
+}
+
+// Name implements Guarantee.
+func (g StrictlyFollows) Name() string { return fmt.Sprintf("strictly-follows(%s,%s)", g.X, g.Y) }
+
+// Formula implements Guarantee.
+func (g StrictlyFollows) Formula() string {
+	return fmt.Sprintf("(%s=y1)@t1 and (%s=y2)@t2 and t1<t2 => (%s=y1)@t3 and (%s=y2)@t4 and t3<t4",
+		g.Y, g.Y, g.X, g.X)
+}
+
+// Check implements Guarantee.
+func (g StrictlyFollows) Check(tr *trace.Trace) Report {
+	rep := Report{Guarantee: g.Name(), Formula: g.Formula(), Holds: true}
+	for _, pair := range pairKeys(tr, g.X, g.Y) {
+		x, y := pair[0], pair[1]
+		xtl := tr.Timeline(x)
+		i := 0
+		for _, ys := range tr.Timeline(y) {
+			if ys.V.IsNull() {
+				continue
+			}
+			rep.Checked++
+			found := false
+			for i < len(xtl) {
+				if xtl[i].V.Equal(ys.V) {
+					found = true
+					i++
+					break
+				}
+				i++
+			}
+			if !found {
+				rep.violate("%s value %s at %s breaks order against %s",
+					y, ys.V, ys.At.Format(time.TimeOnly), x)
+				break
+			}
+		}
+	}
+	return rep
+}
+
+// MetricFollows is guarantee (4): Y only takes values X held no more than
+// Kappa ago.
+type MetricFollows struct {
+	X, Y  string
+	Kappa time.Duration
+}
+
+// Name implements Guarantee.
+func (g MetricFollows) Name() string {
+	return fmt.Sprintf("metric-follows(%s,%s,%s)", g.X, g.Y, g.Kappa)
+}
+
+// Formula implements Guarantee.
+func (g MetricFollows) Formula() string {
+	return fmt.Sprintf("(%s = y)@t1 => (%s = y)@t2 and t1-%s < t2 <= t1", g.Y, g.X, g.Kappa)
+}
+
+// Check implements Guarantee.  X "had value v within the window" when some
+// maximal constant interval of X's timeline with value v intersects
+// [t1−κ, t1].
+func (g MetricFollows) Check(tr *trace.Trace) Report {
+	rep := Report{Guarantee: g.Name(), Formula: g.Formula(), Holds: true}
+	end := tr.End()
+	for _, pair := range pairKeys(tr, g.X, g.Y) {
+		x, y := pair[0], pair[1]
+		xtl := tr.Timeline(x)
+		for _, ys := range tr.Timeline(y) {
+			if ys.V.IsNull() {
+				continue
+			}
+			rep.Checked++
+			from := ys.At.Add(-g.Kappa)
+			ok := false
+			for i, xs := range xtl {
+				// Interval during which X held xs.V: [xs.At, next.At), or
+				// to end of trace for the last sample.
+				intEnd := end
+				if i+1 < len(xtl) {
+					intEnd = xtl[i+1].At
+				}
+				if !xs.V.Equal(ys.V) {
+					continue
+				}
+				// Overlap with (from, ys.At]?
+				if xs.At.After(ys.At) {
+					break
+				}
+				if intEnd.After(from) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				rep.violate("%s held %s at %s but %s did not hold it within %s before",
+					y, ys.V, ys.At.Format(time.TimeOnly), x, g.Kappa)
+			}
+		}
+	}
+	return rep
+}
+
+// MetricLeads bounds propagation delay: every value X takes appears in Y
+// within Kappa.
+type MetricLeads struct {
+	X, Y  string
+	Kappa time.Duration
+}
+
+// Name implements Guarantee.
+func (g MetricLeads) Name() string {
+	return fmt.Sprintf("metric-leads(%s,%s,%s)", g.X, g.Y, g.Kappa)
+}
+
+// Formula implements Guarantee.
+func (g MetricLeads) Formula() string {
+	return fmt.Sprintf("(%s = x)@t1 => (%s = x)@t2 and t1 < t2 <= t1+%s", g.X, g.Y, g.Kappa)
+}
+
+// Check implements Guarantee.
+func (g MetricLeads) Check(tr *trace.Trace) Report {
+	rep := Report{Guarantee: g.Name(), Formula: g.Formula(), Holds: true}
+	horizon := tr.End().Add(-g.Kappa)
+	for _, pair := range pairKeys(tr, g.X, g.Y) {
+		x, y := pair[0], pair[1]
+		ytl := tr.Timeline(y)
+		for _, xs := range tr.Timeline(x) {
+			if xs.V.IsNull() || xs.At.After(horizon) {
+				continue
+			}
+			rep.Checked++
+			deadline := xs.At.Add(g.Kappa)
+			ok := false
+			for _, ys := range ytl {
+				if sampleBefore(xs, ys) && !ys.At.After(deadline) && ys.V.Equal(xs.V) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				rep.violate("%s took %s at %s; %s did not reflect it within %s",
+					x, xs.V, xs.At.Format(time.TimeOnly), y, g.Kappa)
+			}
+		}
+	}
+	return rep
+}
+
+// Invariant asserts a condition over data items holds in every state of
+// the execution, e.g. the Demarcation Protocol's X <= Y.  The expression
+// may not reference rule parameters.
+type Invariant struct {
+	Label string
+	Pred  rule.Expr
+}
+
+// Name implements Guarantee.
+func (g Invariant) Name() string { return fmt.Sprintf("invariant(%s)", g.Label) }
+
+// Formula implements Guarantee.
+func (g Invariant) Formula() string { return fmt.Sprintf("(%s)@t for all t", g.Pred) }
+
+// Check implements Guarantee.
+func (g Invariant) Check(tr *trace.Trace) Report {
+	rep := Report{Guarantee: g.Name(), Formula: g.Formula(), Holds: true}
+	states := []struct {
+		at time.Time
+		in data.Interpretation
+	}{{at: time.Time{}, in: tr.Initial()}}
+	for _, e := range tr.Events() {
+		states = append(states, struct {
+			at time.Time
+			in data.Interpretation
+		}{e.Time, e.New})
+	}
+	for _, s := range states {
+		rep.Checked++
+		ok, err := rule.EvalBool(g.Pred, envOf(s.in))
+		if err != nil {
+			rep.violate("evaluation error at %s: %v", s.at.Format(time.TimeOnly), err)
+			continue
+		}
+		if !ok {
+			rep.violate("invariant false at %s in state %s", s.at.Format(time.TimeOnly), s.in)
+		}
+	}
+	return rep
+}
+
+type itemEnv struct{ in data.Interpretation }
+
+func envOf(in data.Interpretation) rule.Env { return itemEnv{in} }
+
+func (e itemEnv) Param(string) (data.Value, bool) { return data.NullValue, false }
+func (e itemEnv) Item(n data.ItemName) (data.Value, bool, error) {
+	v, ok := e.in[n.Key()]
+	return v, ok && !v.IsNull(), nil
+}
+
+// ExistsWithin is the weakened referential-integrity guarantee of Section
+// 6.2: whenever an item of family Ref exists, the matching item of family
+// Target exists within Kappa — equivalently, no contiguous violation
+// window for one key exceeds Kappa.
+type ExistsWithin struct {
+	Ref, Target string
+	Kappa       time.Duration
+}
+
+// Name implements Guarantee.
+func (g ExistsWithin) Name() string {
+	return fmt.Sprintf("exists-within(%s,%s,%s)", g.Ref, g.Target, g.Kappa)
+}
+
+// Formula implements Guarantee.
+func (g ExistsWithin) Formula() string {
+	return fmt.Sprintf("E(%s(i))@t => E(%s(i))@[t, t+%s]", g.Ref, g.Target, g.Kappa)
+}
+
+// Check implements Guarantee.
+func (g ExistsWithin) Check(tr *trace.Trace) Report {
+	rep := Report{Guarantee: g.Name(), Formula: g.Formula(), Holds: true}
+	end := tr.End()
+	for _, pair := range pairKeys(tr, g.Ref, g.Target) {
+		ref, tgt := pair[0], pair[1]
+		rep.Checked++
+		// Walk the event sequence tracking the violation condition
+		// E(ref) && !E(tgt).
+		violStart := time.Time{}
+		inViol := false
+		consider := func(at time.Time, in data.Interpretation) {
+			bad := in.Has(ref) && !in.Has(tgt)
+			switch {
+			case bad && !inViol:
+				inViol = true
+				violStart = at
+			case !bad && inViol:
+				inViol = false
+				if at.Sub(violStart) > g.Kappa {
+					rep.violate("%s existed without %s for %s starting %s",
+						ref, tgt, at.Sub(violStart), violStart.Format(time.TimeOnly))
+				}
+			}
+		}
+		consider(time.Time{}, tr.Initial())
+		for _, e := range tr.Events() {
+			consider(e.Time, e.New)
+		}
+		if inViol && end.Sub(violStart) > g.Kappa {
+			rep.violate("%s existed without %s for %s starting %s (unresolved at end of trace)",
+				ref, tgt, end.Sub(violStart), violStart.Format(time.TimeOnly))
+		}
+	}
+	return rep
+}
+
+// MonitorFlag is the monitoring guarantee of Section 6.3:
+//
+//	((Flag = true) ∧ (Tb = s))@t ⇒ (X = Y)@@[s, t−κ]
+//
+// whenever the auxiliary Flag is set, the copy constraint held throughout
+// the interval from the recorded base time Tb to κ before now.
+type MonitorFlag struct {
+	Flag, Tb data.ItemName
+	X, Y     data.ItemName
+	Kappa    time.Duration
+}
+
+// Name implements Guarantee.
+func (g MonitorFlag) Name() string {
+	return fmt.Sprintf("monitor(%s,%s)", g.X, g.Y)
+}
+
+// Formula implements Guarantee.
+func (g MonitorFlag) Formula() string {
+	return fmt.Sprintf("((%s = true) and (%s = s))@t => (%s = %s)@@[s, t-%s]",
+		g.Flag, g.Tb, g.X, g.Y, g.Kappa)
+}
+
+// Check implements Guarantee.  The left-hand side is evaluated at every
+// state of the execution.
+func (g MonitorFlag) Check(tr *trace.Trace) Report {
+	rep := Report{Guarantee: g.Name(), Formula: g.Formula(), Holds: true}
+	events := tr.Events()
+	// equalAt reports whether X=Y held at all states in [from, to].
+	equalAt := func(from, to time.Time) bool {
+		if to.Before(from) {
+			return true // empty interval
+		}
+		st := tr.StateAt(from)
+		if !st.Get(g.X).Equal(st.Get(g.Y)) {
+			return false
+		}
+		for _, e := range events {
+			if e.Time.After(to) {
+				break
+			}
+			if !e.Time.Before(from) && !e.New.Get(g.X).Equal(e.New.Get(g.Y)) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, e := range events {
+		if !e.New.Get(g.Flag).Truthy() {
+			continue
+		}
+		s, ok := ValueTime(e.New.Get(g.Tb))
+		if !ok {
+			rep.violate("Flag set at %s but %s holds no time", e.Time.Format(time.TimeOnly), g.Tb)
+			continue
+		}
+		rep.Checked++
+		if !equalAt(s, e.Time.Add(-g.Kappa)) {
+			rep.violate("Flag set at %s but %s != %s within [%s, t-%s]",
+				e.Time.Format(time.TimeOnly), g.X, g.Y, s.Format(time.TimeOnly), g.Kappa)
+		}
+	}
+	return rep
+}
+
+// Periodic is the banking guarantee of Section 6.4: the predicate holds
+// every day between From and To (offsets from midnight; To may be on the
+// following day, e.g. 17:15 to 08:00).
+type Periodic struct {
+	Label    string
+	Pred     rule.Expr
+	From, To time.Duration // offsets from midnight, local to the trace's clock
+}
+
+// Name implements Guarantee.
+func (g Periodic) Name() string { return fmt.Sprintf("periodic(%s)", g.Label) }
+
+// Formula implements Guarantee.
+func (g Periodic) Formula() string {
+	return fmt.Sprintf("(%s)@t for all t with tod(t) in [%s, %s)", g.Pred, g.From, g.To)
+}
+
+// inWindow reports whether the instant falls inside the daily window.
+func (g Periodic) inWindow(t time.Time) bool {
+	midnight := time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, t.Location())
+	off := t.Sub(midnight)
+	if g.From <= g.To {
+		return off >= g.From && off < g.To
+	}
+	return off >= g.From || off < g.To // wraps past midnight
+}
+
+// Check implements Guarantee.  The state is piecewise constant, so it
+// suffices to evaluate at each event inside the window and at each window
+// opening instant.
+func (g Periodic) Check(tr *trace.Trace) Report {
+	rep := Report{Guarantee: g.Name(), Formula: g.Formula(), Holds: true}
+	evalAt := func(at time.Time, in data.Interpretation) {
+		rep.Checked++
+		ok, err := rule.EvalBool(g.Pred, envOf(in))
+		if err != nil {
+			rep.violate("evaluation error at %s: %v", at.Format(time.DateTime), err)
+			return
+		}
+		if !ok {
+			rep.violate("predicate false at %s", at.Format(time.DateTime))
+		}
+	}
+	events := tr.Events()
+	if len(events) == 0 {
+		return rep
+	}
+	for _, e := range events {
+		if g.inWindow(e.Time) {
+			evalAt(e.Time, e.New)
+		}
+	}
+	// Window openings: for each day spanned by the trace, if the opening
+	// instant lies within the trace, evaluate the state then.
+	start, end := events[0].Time, events[len(events)-1].Time
+	for day := time.Date(start.Year(), start.Month(), start.Day(), 0, 0, 0, 0, start.Location()); !day.After(end); day = day.Add(24 * time.Hour) {
+		open := day.Add(g.From)
+		if open.After(start) && open.Before(end) {
+			evalAt(open, tr.StateAt(open))
+		}
+	}
+	return rep
+}
+
+// CheckAll evaluates a set of guarantees against a trace.
+func CheckAll(tr *trace.Trace, gs ...Guarantee) []Report {
+	out := make([]Report, len(gs))
+	for i, g := range gs {
+		out[i] = g.Check(tr)
+	}
+	return out
+}
+
+// AllHold reports whether every report holds.
+func AllHold(reports []Report) bool {
+	for _, r := range reports {
+		if !r.Holds {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,223 @@
+package guarantee
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cmtk/internal/data"
+	"cmtk/internal/rule"
+)
+
+// Parse reads a guarantee declaration in concrete syntax, so deployments
+// can state the consistency they expect in configuration files the same
+// way they state interfaces and strategies:
+//
+//	follows(salary1, salary2)
+//	leads(salary1, salary2, 30s)
+//	strictly-follows(salary1, salary2)
+//	metric-follows(salary1, salary2, 15s)
+//	metric-leads(salary1, salary2, 15s)
+//	invariant(X <= Y)
+//	exists-within(project, salary, 24h)
+//	periodic(B1 = B2, 17h15m, 8h)
+//	monitor(Flag, Tb, X, Y, 10s)
+//
+// Durations use Go syntax (15s, 24h, 17h15m).
+func Parse(src string) (Guarantee, error) {
+	src = strings.TrimSpace(src)
+	open := strings.IndexByte(src, '(')
+	if open < 0 || !strings.HasSuffix(src, ")") {
+		return nil, fmt.Errorf("guarantee: want form name(args), got %q", src)
+	}
+	name := strings.TrimSpace(src[:open])
+	argSrc := src[open+1 : len(src)-1]
+	args := splitTop(argSrc)
+	for i := range args {
+		args[i] = strings.TrimSpace(args[i])
+	}
+	ident := func(i int) (string, error) {
+		if i >= len(args) || args[i] == "" {
+			return "", fmt.Errorf("guarantee: %s wants an item name as argument %d", name, i+1)
+		}
+		return args[i], nil
+	}
+	dur := func(i int) (time.Duration, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("guarantee: %s wants a duration as argument %d", name, i+1)
+		}
+		d, err := time.ParseDuration(args[i])
+		if err != nil {
+			return 0, fmt.Errorf("guarantee: %s: %w", name, err)
+		}
+		return d, nil
+	}
+	argc := func(want int) error {
+		if len(args) != want {
+			return fmt.Errorf("guarantee: %s wants %d arguments, got %d", name, want, len(args))
+		}
+		return nil
+	}
+	switch name {
+	case "follows":
+		if err := argc(2); err != nil {
+			return nil, err
+		}
+		x, err := ident(0)
+		if err != nil {
+			return nil, err
+		}
+		y, err := ident(1)
+		if err != nil {
+			return nil, err
+		}
+		return Follows{X: x, Y: y}, nil
+	case "leads":
+		if len(args) != 2 && len(args) != 3 {
+			return nil, fmt.Errorf("guarantee: leads wants 2 or 3 arguments, got %d", len(args))
+		}
+		x, err := ident(0)
+		if err != nil {
+			return nil, err
+		}
+		y, err := ident(1)
+		if err != nil {
+			return nil, err
+		}
+		g := Leads{X: x, Y: y}
+		if len(args) == 3 {
+			if g.Settle, err = dur(2); err != nil {
+				return nil, err
+			}
+		}
+		return g, nil
+	case "strictly-follows":
+		if err := argc(2); err != nil {
+			return nil, err
+		}
+		x, err := ident(0)
+		if err != nil {
+			return nil, err
+		}
+		y, err := ident(1)
+		if err != nil {
+			return nil, err
+		}
+		return StrictlyFollows{X: x, Y: y}, nil
+	case "metric-follows", "metric-leads":
+		if err := argc(3); err != nil {
+			return nil, err
+		}
+		x, err := ident(0)
+		if err != nil {
+			return nil, err
+		}
+		y, err := ident(1)
+		if err != nil {
+			return nil, err
+		}
+		k, err := dur(2)
+		if err != nil {
+			return nil, err
+		}
+		if name == "metric-follows" {
+			return MetricFollows{X: x, Y: y, Kappa: k}, nil
+		}
+		return MetricLeads{X: x, Y: y, Kappa: k}, nil
+	case "invariant":
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		pred, err := rule.ParseExpr(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return Invariant{Label: args[0], Pred: pred}, nil
+	case "exists-within":
+		if err := argc(3); err != nil {
+			return nil, err
+		}
+		ref, err := ident(0)
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := ident(1)
+		if err != nil {
+			return nil, err
+		}
+		k, err := dur(2)
+		if err != nil {
+			return nil, err
+		}
+		return ExistsWithin{Ref: ref, Target: tgt, Kappa: k}, nil
+	case "periodic":
+		if err := argc(3); err != nil {
+			return nil, err
+		}
+		pred, err := rule.ParseExpr(args[0])
+		if err != nil {
+			return nil, err
+		}
+		from, err := dur(1)
+		if err != nil {
+			return nil, err
+		}
+		to, err := dur(2)
+		if err != nil {
+			return nil, err
+		}
+		return Periodic{Label: args[0], Pred: pred, From: from, To: to}, nil
+	case "monitor":
+		if err := argc(5); err != nil {
+			return nil, err
+		}
+		names := make([]data.ItemName, 4)
+		for i := 0; i < 4; i++ {
+			s, err := ident(i)
+			if err != nil {
+				return nil, err
+			}
+			n, err := data.ParseItemName(s)
+			if err != nil {
+				return nil, err
+			}
+			names[i] = n
+		}
+		k, err := dur(4)
+		if err != nil {
+			return nil, err
+		}
+		return MonitorFlag{Flag: names[0], Tb: names[1], X: names[2], Y: names[3], Kappa: k}, nil
+	default:
+		return nil, fmt.Errorf("guarantee: unknown form %q", name)
+	}
+}
+
+// splitTop splits on commas outside parentheses and quotes.
+func splitTop(s string) []string {
+	var parts []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}

@@ -1,0 +1,328 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// cell fetches a named column of a row.
+func cell(t *testing.T, tbl Table, row int, col string) string {
+	t.Helper()
+	for i, c := range tbl.Columns {
+		if c == col {
+			return tbl.Rows[row][i]
+		}
+	}
+	t.Fatalf("%s: no column %q", tbl.ID, col)
+	return ""
+}
+
+func wantHolds(t *testing.T, tbl Table, row int, col string) {
+	t.Helper()
+	if got := cell(t, tbl, row, col); got != "holds" {
+		t.Errorf("%s row %d %s = %q, want holds", tbl.ID, row, col, got)
+	}
+}
+
+func wantAllGuaranteesHold(t *testing.T, tbl Table, row int) {
+	t.Helper()
+	if s := cell(t, tbl, row, "guarantees"); strings.Contains(s, "FAILS") {
+		t.Errorf("%s row %d guarantees = %q", tbl.ID, row, s)
+	}
+}
+
+func wantZeroViolations(t *testing.T, tbl Table, row int) {
+	t.Helper()
+	if s := cell(t, tbl, row, "trace"); s != "0 violations" {
+		t.Errorf("%s row %d trace = %q", tbl.ID, row, s)
+	}
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("not a number: %q", s)
+	}
+	return n
+}
+
+func TestE1AllGuaranteesHold(t *testing.T) {
+	tbl := E1(60)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		wantZeroViolations(t, tbl, i)
+		wantAllGuaranteesHold(t, tbl, i)
+		if lost := atoi(t, cell(t, tbl, i, "lost")); lost != 0 {
+			t.Errorf("row %d lost = %d", i, lost)
+		}
+	}
+	if tbl.String() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestE2PollingShape(t *testing.T) {
+	tbl := E2(50)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	missedAtPeriod := map[string]int{}
+	for i := range tbl.Rows {
+		wantHolds(t, tbl, i, "follows")
+		wantHolds(t, tbl, i, "strict")
+		missedAtPeriod[cell(t, tbl, i, "poll period")] = atoi(t, cell(t, tbl, i, "missed"))
+	}
+	// The paper's claim: leads fails once updates outpace the poll; with a
+	// 20s mean gap the 60s and 120s periods must certainly lose values.
+	for i := range tbl.Rows {
+		period := cell(t, tbl, i, "poll period")
+		if period == "1m0s" || period == "2m0s" {
+			if got := cell(t, tbl, i, "leads"); got != "FAILS" {
+				t.Errorf("period %s: leads = %q, want FAILS", period, got)
+			}
+		}
+	}
+	// Miss count grows (weakly) with the period.
+	if missedAtPeriod["2m0s"] < missedAtPeriod["10s"] {
+		t.Errorf("missed(%s)=%d < missed(%s)=%d",
+			"2m0s", missedAtPeriod["2m0s"], "10s", missedAtPeriod["10s"])
+	}
+}
+
+func TestE3CachedSavesTraffic(t *testing.T) {
+	tbl := E3(120)
+	// Rows alternate notify/cached per dup fraction.
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for i := 0; i < len(tbl.Rows); i += 2 {
+		naive := atoi(t, cell(t, tbl, i, "write reqs"))
+		cached := atoi(t, cell(t, tbl, i+1, "write reqs"))
+		dup := cell(t, tbl, i, "dup fraction")
+		if cached > naive {
+			t.Errorf("dup %s: cached (%d) > naive (%d)", dup, cached, naive)
+		}
+		if dup != "0.00" && cached >= naive {
+			t.Errorf("dup %s: no saving (%d vs %d)", dup, cached, naive)
+		}
+		wantAllGuaranteesHold(t, tbl, i)
+		wantAllGuaranteesHold(t, tbl, i+1)
+	}
+}
+
+func TestE4DemarcationShape(t *testing.T) {
+	tbl := E4(100)
+	for i := range tbl.Rows {
+		wantHolds(t, tbl, i, "X<=Y")
+	}
+	// Larger slack means a larger local fraction.
+	frac := func(row int) float64 {
+		s := strings.TrimSuffix(cell(t, tbl, row, "local %"), "%")
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	// Rows: slack 1 (exact, generous), 10, 100, 1000.
+	if frac(0) >= frac(len(tbl.Rows)-1) {
+		t.Errorf("local%% did not grow with slack: %v vs %v", frac(0), frac(len(tbl.Rows)-1))
+	}
+}
+
+func TestE5ReferentialShape(t *testing.T) {
+	tbl := E5(5)
+	wantHolds(t, tbl, 0, "guarantee")
+	orphans := atoi(t, cell(t, tbl, 0, "orphans"))
+	deleted := atoi(t, cell(t, tbl, 0, "deleted"))
+	if orphans == 0 || deleted != orphans {
+		t.Errorf("orphans=%d deleted=%d", orphans, deleted)
+	}
+	// Max violation window below 24h + sweep slack.
+	w, err := time.ParseDuration(cell(t, tbl, 0, "max window"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w > 25*time.Hour {
+		t.Errorf("max window %v exceeds a day", w)
+	}
+}
+
+func TestE6MonitorShape(t *testing.T) {
+	tbl := E6(6)
+	wantHolds(t, tbl, 0, "monitor guarantee")
+	if s := cell(t, tbl, 0, "trace"); s != "0 violations" {
+		t.Errorf("trace = %q", s)
+	}
+	frac := strings.TrimSuffix(cell(t, tbl, 0, "flag-true %"), "%")
+	f, err := strconv.ParseFloat(frac, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 25 || f > 75 {
+		t.Errorf("flag-true fraction %v%% implausible for alternating cycles", f)
+	}
+}
+
+func TestE7PeriodicShape(t *testing.T) {
+	tbl := E7(3)
+	wantHolds(t, tbl, 0, "night guarantee")
+	if got := cell(t, tbl, 0, "daytime control"); got != "FAILS" {
+		t.Errorf("daytime control = %q, want FAILS", got)
+	}
+	if runs := atoi(t, cell(t, tbl, 0, "batches")); runs != 3 {
+		t.Errorf("batches = %d", runs)
+	}
+}
+
+func TestE8FailureShape(t *testing.T) {
+	tbl := E8()
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Row 0: no failure — everything valid.
+	if got := cell(t, tbl, 0, "metric valid"); !validAll(got) {
+		t.Errorf("no-failure metric valid = %q", got)
+	}
+	if got := cell(t, tbl, 0, "non-metric valid"); !validAll(got) {
+		t.Errorf("no-failure non-metric valid = %q", got)
+	}
+	// Row 1: metric failure — metric invalid, non-metric intact.
+	if got := cell(t, tbl, 1, "metric valid"); !validNone(got) {
+		t.Errorf("metric-failure metric valid = %q", got)
+	}
+	if got := cell(t, tbl, 1, "non-metric valid"); !validAll(got) {
+		t.Errorf("metric-failure non-metric valid = %q", got)
+	}
+	// Row 2: logical failure — everything invalid.
+	if got := cell(t, tbl, 2, "metric valid"); !validNone(got) {
+		t.Errorf("logical-failure metric valid = %q", got)
+	}
+	if got := cell(t, tbl, 2, "non-metric valid"); !validNone(got) {
+		t.Errorf("logical-failure non-metric valid = %q", got)
+	}
+	// Row 3: overload detected through the translator path behaves like
+	// the directly injected metric failure.
+	if got := cell(t, tbl, 3, "metric valid"); !validNone(got) {
+		t.Errorf("overload metric valid = %q", got)
+	}
+	if got := cell(t, tbl, 3, "non-metric valid"); !validAll(got) {
+		t.Errorf("overload non-metric valid = %q", got)
+	}
+	// Row 4: crash + recovery — metric-only failures and a converged
+	// replica (buffered notifications replayed).
+	if got := cell(t, tbl, 4, "metric valid"); !validNone(got) {
+		t.Errorf("crash metric valid = %q", got)
+	}
+	if got := cell(t, tbl, 4, "non-metric valid"); !validAll(got) {
+		t.Errorf("crash non-metric valid = %q", got)
+	}
+	if got := cell(t, tbl, 4, "replica converged"); got != "true" {
+		t.Errorf("crash replica converged = %q", got)
+	}
+	// Every scenario except Down leaves the replica converged.
+	for i := 0; i < len(tbl.Rows); i++ {
+		if got := cell(t, tbl, i, "replica converged"); got != "true" {
+			t.Errorf("row %d replica converged = %q", i, got)
+		}
+	}
+}
+
+func validAll(frac string) bool {
+	parts := strings.Split(frac, "/")
+	return len(parts) == 2 && parts[0] == parts[1] && parts[0] != "0"
+}
+
+func validNone(frac string) bool {
+	parts := strings.Split(frac, "/")
+	return len(parts) == 2 && parts[0] == "0" && parts[1] != "0"
+}
+
+func TestE9RetargetShape(t *testing.T) {
+	tbl := E9(40)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		wantZeroViolations(t, tbl, i)
+		wantAllGuaranteesHold(t, tbl, i)
+		if lost := atoi(t, cell(t, tbl, i, "lost")); lost != 0 {
+			t.Errorf("row %d lost = %d", i, lost)
+		}
+	}
+	// The retarget is small: well under a "page" (~50 lines).
+	if diff := atoi(t, cell(t, tbl, 1, "lines changed")); diff == 0 || diff > 50 {
+		t.Errorf("lines changed = %d", diff)
+	}
+	// Guarantee outcomes identical across dialects.
+	if cell(t, tbl, 0, "guarantees") != cell(t, tbl, 1, "guarantees") {
+		t.Error("guarantee outcomes differ across dialects")
+	}
+}
+
+func TestF1ArchitectureShape(t *testing.T) {
+	tbl := F1(60)
+	wantZeroViolations(t, tbl, 0)
+	wantAllGuaranteesHold(t, tbl, 0)
+	if lost := atoi(t, cell(t, tbl, 0, "lost(B)")) + atoi(t, cell(t, tbl, 0, "lost(C)")); lost != 0 {
+		t.Errorf("lost = %d", lost)
+	}
+}
+
+func TestF2PipelineOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-clock TCP experiment")
+	}
+	tbl := F2(20)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		wantAllGuaranteesHold(t, tbl, i)
+		if got := atoi(t, cell(t, tbl, i, "propagated")); got == 0 {
+			t.Errorf("row %d propagated = 0", i)
+		}
+	}
+}
+
+func TestE10InOrderAblation(t *testing.T) {
+	tbl := E10(16)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// FIFO row: everything clean.
+	wantHolds(t, tbl, 0, "follows")
+	wantHolds(t, tbl, 0, "strict order")
+	if got := atoi(t, cell(t, tbl, 0, "prop-7 violations")); got != 0 {
+		t.Errorf("fifo prop-7 = %d", got)
+	}
+	if got := cell(t, tbl, 0, "final value correct"); got != "true" {
+		t.Errorf("fifo final = %q", got)
+	}
+	// Scrambled row: strict order broken and detected.
+	if got := cell(t, tbl, 1, "strict order"); got != "FAILS" {
+		t.Errorf("scrambled strict order = %q, want FAILS", got)
+	}
+	if got := atoi(t, cell(t, tbl, 1, "prop-7 violations")); got == 0 {
+		t.Error("scrambled links produced no property-7 violations")
+	}
+	// Follows still holds: reordering cannot invent values.
+	wantHolds(t, tbl, 1, "follows")
+}
+
+func TestE11ClockSkewMargin(t *testing.T) {
+	tbl := E11(3)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	wantHolds(t, tbl, 0, "night guarantee")
+	wantHolds(t, tbl, 1, "night guarantee")
+	if got := cell(t, tbl, 2, "night guarantee"); got != "FAILS" {
+		t.Errorf("25m skew guarantee = %q, want FAILS", got)
+	}
+}

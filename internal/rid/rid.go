@@ -1,0 +1,314 @@
+// Package rid implements the CM-Raw Interface Description (CM-RID) file
+// format of Section 4.1.  A CM-RID configures a standard CM-Translator to
+// one particular Raw Information Source: which kind of source it is, where
+// it lives, how each constraint-relevant item family maps onto the
+// source's native objects (SQL command templates, directory attributes,
+// file records), and which interface statements the resulting translator
+// honors, with their time bounds.
+//
+// Format (line oriented; '#' comments):
+//
+//	kind relstore
+//	site B
+//	addr 127.0.0.1:7001          # omit or "local" for in-process sources
+//
+//	item salary2
+//	  type int
+//	  read   SELECT salary FROM employees WHERE empid = $n
+//	  write  UPDATE employees SET salary = $b WHERE empid = $n
+//	  insert INSERT INTO employees (empid, salary) VALUES ($n, $b)
+//	  delete DELETE FROM employees WHERE empid = $n
+//	  list   SELECT empid FROM employees
+//	  watch  employees
+//	  keycol empid
+//	  valcol salary
+//
+//	interface WR(salary2(n), b) ->3s W(salary2(n), b)
+//	interface Ws(salary2(n), b) ->2s N(salary2(n), b)
+//
+// For kvstore sources the binding uses "attr <name>"; for filestore
+// sources "file <name>"; bibstore bindings use "field title|author|venue
+// |year|key".  $n substitutes the item's first argument, $b the value
+// (SQL-quoted in SQL templates, raw elsewhere).
+package rid
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"cmtk/internal/rule"
+)
+
+// Kind names the supported source kinds.
+const (
+	KindRel  = "relstore"
+	KindKV   = "kvstore"
+	KindFile = "filestore"
+	KindBib  = "bibstore"
+)
+
+// ItemBinding maps one item family onto native objects of the source.
+type ItemBinding struct {
+	Base string
+	Type string // int | float | string | bool (value type; default string)
+
+	// Relational bindings: SQL command templates with $n/$b placeholders.
+	ReadSQL, WriteSQL, InsertSQL, DeleteSQL, ListSQL string
+	WatchTable, KeyCol, ValCol                       string
+
+	// NotifyCond makes the notify interface conditional (Section 3.1.1):
+	// a change is forwarded only when the expression over a (old value)
+	// and b (new value) is true, e.g. "abs(b - a) > 0.1 * a".  Evaluated
+	// inside the translator, modelling filtering the database itself does.
+	NotifyCond rule.Expr
+
+	// Directory binding: the attribute carrying this family ($n = entity).
+	Attr string
+
+	// Flat-file binding: the record file ($n = record key).
+	File string
+
+	// Bibliographic binding: which record field is the item's value.
+	Field string
+}
+
+// Config is a parsed CM-RID.
+type Config struct {
+	Kind       string
+	Site       string
+	Addr       string // network address, or "" / "local" for in-process
+	Items      map[string]*ItemBinding
+	Statements []rule.Rule
+}
+
+// Local reports whether the source is in-process.
+func (c *Config) Local() bool { return c.Addr == "" || c.Addr == "local" }
+
+// Binding returns the binding for an item base.
+func (c *Config) Binding(base string) (*ItemBinding, bool) {
+	b, ok := c.Items[base]
+	return b, ok
+}
+
+// Parse reads a CM-RID.
+func Parse(r io.Reader) (*Config, error) {
+	cfg := &Config{Items: map[string]*ItemBinding{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var cur *ItemBinding
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		word, rest := splitWord(line)
+		switch word {
+		case "kind":
+			switch rest {
+			case KindRel, KindKV, KindFile, KindBib:
+				cfg.Kind = rest
+			default:
+				return nil, fmt.Errorf("rid: line %d: unknown kind %q", lineNo, rest)
+			}
+		case "site":
+			if rest == "" {
+				return nil, fmt.Errorf("rid: line %d: site wants a name", lineNo)
+			}
+			cfg.Site = rest
+		case "addr":
+			cfg.Addr = rest
+		case "item":
+			if rest == "" {
+				return nil, fmt.Errorf("rid: line %d: item wants a base name", lineNo)
+			}
+			if _, dup := cfg.Items[rest]; dup {
+				return nil, fmt.Errorf("rid: line %d: duplicate item %s", lineNo, rest)
+			}
+			cur = &ItemBinding{Base: rest, Type: "string"}
+			cfg.Items[rest] = cur
+		case "interface":
+			r, err := rule.ParseRule(rest)
+			if err != nil {
+				return nil, fmt.Errorf("rid: line %d: %w", lineNo, err)
+			}
+			if !r.IsInterfaceStatement() {
+				return nil, fmt.Errorf("rid: line %d: interface statements must have exactly one right-hand event", lineNo)
+			}
+			if r.ID == "" {
+				r.ID = fmt.Sprintf("if%d", len(cfg.Statements)+1)
+			}
+			cfg.Statements = append(cfg.Statements, r)
+		case "type", "read", "write", "insert", "delete", "list", "watch",
+			"keycol", "valcol", "attr", "file", "field", "notifycond":
+			if cur == nil {
+				return nil, fmt.Errorf("rid: line %d: %s outside an item block", lineNo, word)
+			}
+			if rest == "" {
+				return nil, fmt.Errorf("rid: line %d: %s wants a value", lineNo, word)
+			}
+			switch word {
+			case "type":
+				switch rest {
+				case "int", "float", "string", "bool":
+					cur.Type = rest
+				default:
+					return nil, fmt.Errorf("rid: line %d: unknown type %q", lineNo, rest)
+				}
+			case "read":
+				cur.ReadSQL = rest
+			case "write":
+				cur.WriteSQL = rest
+			case "insert":
+				cur.InsertSQL = rest
+			case "delete":
+				cur.DeleteSQL = rest
+			case "list":
+				cur.ListSQL = rest
+			case "watch":
+				cur.WatchTable = rest
+			case "keycol":
+				cur.KeyCol = rest
+			case "valcol":
+				cur.ValCol = rest
+			case "attr":
+				cur.Attr = rest
+			case "file":
+				cur.File = rest
+			case "field":
+				cur.Field = rest
+			case "notifycond":
+				e, err := rule.ParseExpr(rest)
+				if err != nil {
+					return nil, fmt.Errorf("rid: line %d: notifycond: %w", lineNo, err)
+				}
+				cur.NotifyCond = e
+			}
+		default:
+			return nil, fmt.Errorf("rid: line %d: unknown directive %q", lineNo, word)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rid: reading: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// ParseString parses a CM-RID from a string.
+func ParseString(s string) (*Config, error) { return Parse(strings.NewReader(s)) }
+
+// ParseFile parses a CM-RID file.
+func ParseFile(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("rid: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Validate checks kind-specific binding completeness.
+func (c *Config) Validate() error {
+	if c.Kind == "" {
+		return fmt.Errorf("rid: missing kind")
+	}
+	if c.Site == "" {
+		return fmt.Errorf("rid: missing site")
+	}
+	for base, b := range c.Items {
+		switch c.Kind {
+		case KindRel:
+			if b.ReadSQL == "" {
+				return fmt.Errorf("rid: item %s: relstore binding needs a read template", base)
+			}
+		case KindKV:
+			if b.Attr == "" {
+				return fmt.Errorf("rid: item %s: kvstore binding needs an attr", base)
+			}
+		case KindFile:
+			if b.File == "" {
+				return fmt.Errorf("rid: item %s: filestore binding needs a file", base)
+			}
+		case KindBib:
+			if b.Field == "" {
+				return fmt.Errorf("rid: item %s: bibstore binding needs a field", base)
+			}
+		}
+	}
+	// Interface statements must mention bound items.
+	for _, st := range c.Statements {
+		bases := map[string]bool{}
+		if st.LHS.Op.HasItem() {
+			bases[st.LHS.Item.Base] = true
+		}
+		for _, s := range st.Steps {
+			if s.Eff.Op.HasItem() {
+				bases[s.Eff.Item.Base] = true
+			}
+		}
+		for base := range bases {
+			if _, ok := c.Items[base]; !ok {
+				return fmt.Errorf("rid: interface statement %s mentions unbound item %s", st.ID, base)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the config back in CM-RID syntax.
+func (c *Config) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kind %s\nsite %s\n", c.Kind, c.Site)
+	if c.Addr != "" {
+		fmt.Fprintf(&b, "addr %s\n", c.Addr)
+	}
+	bases := make([]string, 0, len(c.Items))
+	for base := range c.Items {
+		bases = append(bases, base)
+	}
+	sort.Strings(bases)
+	for _, base := range bases {
+		ib := c.Items[base]
+		fmt.Fprintf(&b, "item %s\n", base)
+		fmt.Fprintf(&b, "  type %s\n", ib.Type)
+		put := func(k, v string) {
+			if v != "" {
+				fmt.Fprintf(&b, "  %s %s\n", k, v)
+			}
+		}
+		put("read", ib.ReadSQL)
+		put("write", ib.WriteSQL)
+		put("insert", ib.InsertSQL)
+		put("delete", ib.DeleteSQL)
+		put("list", ib.ListSQL)
+		put("watch", ib.WatchTable)
+		put("keycol", ib.KeyCol)
+		put("valcol", ib.ValCol)
+		put("attr", ib.Attr)
+		put("file", ib.File)
+		put("field", ib.Field)
+		if ib.NotifyCond != nil {
+			fmt.Fprintf(&b, "  notifycond %s\n", ib.NotifyCond)
+		}
+	}
+	for _, st := range c.Statements {
+		fmt.Fprintf(&b, "interface %s\n", st)
+	}
+	return b.String()
+}
+
+func splitWord(s string) (word, rest string) {
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i:])
+}

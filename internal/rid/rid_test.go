@@ -1,0 +1,127 @@
+package rid
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sample = `
+# CM-RID for site B (Sybase payroll)
+kind relstore
+site B
+addr 127.0.0.1:7001
+
+item salary2
+  type int
+  read   SELECT salary FROM employees WHERE empid = $n
+  write  UPDATE employees SET salary = $b WHERE empid = $n
+  insert INSERT INTO employees (empid, salary) VALUES ($n, $b)
+  delete DELETE FROM employees WHERE empid = $n
+  list   SELECT empid FROM employees
+  watch  employees
+  keycol empid
+  valcol salary
+
+interface WR(salary2(n), b) ->3s W(salary2(n), b)
+interface Ws(salary2(n), b) ->2s N(salary2(n), b)
+`
+
+func TestParseSample(t *testing.T) {
+	cfg, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Kind != KindRel || cfg.Site != "B" || cfg.Addr != "127.0.0.1:7001" {
+		t.Fatalf("header = %+v", cfg)
+	}
+	if cfg.Local() {
+		t.Fatal("networked config reports local")
+	}
+	b, ok := cfg.Binding("salary2")
+	if !ok || b.Type != "int" || b.WatchTable != "employees" || b.KeyCol != "empid" {
+		t.Fatalf("binding = %+v", b)
+	}
+	if !strings.Contains(b.WriteSQL, "$b") || !strings.Contains(b.ReadSQL, "$n") {
+		t.Fatalf("templates = %+v", b)
+	}
+	if len(cfg.Statements) != 2 {
+		t.Fatalf("statements = %d", len(cfg.Statements))
+	}
+	if cfg.Statements[0].Delta != 3*time.Second {
+		t.Fatalf("delta = %v", cfg.Statements[0].Delta)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	cfg, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := ParseString(cfg.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, cfg.String())
+	}
+	if cfg.String() != cfg2.String() {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", cfg.String(), cfg2.String())
+	}
+}
+
+func TestLocalDefault(t *testing.T) {
+	cfg, err := ParseString("kind kvstore\nsite L\nitem p\n  attr phone\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Local() {
+		t.Fatal("config without addr not local")
+	}
+	if b, _ := cfg.Binding("p"); b.Type != "string" {
+		t.Fatalf("default type = %q", b.Type)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                // missing kind
+		"kind nosuch\nsite A",             // bad kind
+		"kind relstore",                   // missing site
+		"kind relstore\nsite A\nbogus x",  // unknown directive
+		"kind relstore\nsite A\ntype int", // binding key outside item
+		"kind relstore\nsite A\nitem x",   // rel binding without read
+		"kind kvstore\nsite A\nitem x",    // kv binding without attr
+		"kind filestore\nsite A\nitem x",  // file binding without file
+		"kind bibstore\nsite A\nitem x",   // bib binding without field
+		"kind relstore\nsite A\nitem x\n  read q\nitem x\n  read q", // dup item
+		"kind relstore\nsite A\nitem x\n  type widget\n  read q",    // bad type
+		// interface mentioning unbound item
+		"kind relstore\nsite A\ninterface WR(y(n), b) ->1s W(y(n), b)",
+		// interface with two steps is not an interface statement
+		"kind relstore\nsite A\nitem x\n  read q\ninterface WR(x(n), b) ->1s W(x(n), b), W(x(n), b)",
+		"kind relstore\nsite A\nsite", // site without name... parsed as empty
+	}
+	for _, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/b.rid"
+	if err := writeFile(path, sample); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ParseFile(path)
+	if err != nil || cfg.Site != "B" {
+		t.Fatalf("ParseFile = %+v, %v", cfg, err)
+	}
+	if _, err := ParseFile(dir + "/missing.rid"); err == nil {
+		t.Fatal("missing file parsed")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,126 @@
+// Package bibstore implements a read-only bibliographic information
+// system, the WAIS-like source of Sections 4.1 and 4.3.  Its native
+// interface is query-only: submit an author query, get records back.  The
+// constraint manager can neither write it nor subscribe to it, so the only
+// strategies available over it are polling ones, and constraints that
+// would require writing it can only be monitored — exactly the situation
+// Section 6.3 motivates.
+package bibstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"cmtk/internal/ris"
+)
+
+// Record is one bibliography entry.
+type Record struct {
+	Key    string // citation key, unique
+	Author string // primary author
+	Title  string
+	Year   int
+	Venue  string
+}
+
+// Store is the bibliography.
+type Store struct {
+	mu      sync.RWMutex
+	name    string
+	byKey   map[string]Record
+	byAuthr map[string][]string // author -> keys
+}
+
+// New creates an empty bibliography.
+func New(name string) *Store {
+	return &Store{name: name, byKey: map[string]Record{}, byAuthr: map[string][]string{}}
+}
+
+// Name returns the store name.
+func (s *Store) Name() string { return s.name }
+
+// Capabilities: read and query only.
+func (s *Store) Capabilities() ris.Capability { return ris.CapRead | ris.CapQuery }
+
+// Load adds records during setup.  This is administrative population (the
+// bibliography is maintained elsewhere), not a CM-visible write path.
+func (s *Store) Load(recs ...Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range recs {
+		if r.Key == "" {
+			return fmt.Errorf("bibstore: record with empty key")
+		}
+		if _, dup := s.byKey[r.Key]; dup {
+			return fmt.Errorf("bibstore: duplicate key %q", r.Key)
+		}
+		s.byKey[r.Key] = r
+		a := normAuthor(r.Author)
+		s.byAuthr[a] = append(s.byAuthr[a], r.Key)
+	}
+	return nil
+}
+
+// Remove deletes a record during administrative maintenance.
+func (s *Store) Remove(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.byKey[key]
+	if !ok {
+		return fmt.Errorf("bibstore: key %q: %w", key, ris.ErrNotFound)
+	}
+	delete(s.byKey, key)
+	a := normAuthor(r.Author)
+	keys := s.byAuthr[a]
+	for i, k := range keys {
+		if k == key {
+			s.byAuthr[a] = append(keys[:i], keys[i+1:]...)
+			break
+		}
+	}
+	if len(s.byAuthr[a]) == 0 {
+		delete(s.byAuthr, a)
+	}
+	return nil
+}
+
+// ByAuthor is the native query: records whose primary author matches,
+// case-insensitively, sorted by key.
+func (s *Store) ByAuthor(author string) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := append([]string(nil), s.byAuthr[normAuthor(author)]...)
+	sort.Strings(keys)
+	out := make([]Record, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.byKey[k])
+	}
+	return out
+}
+
+// Get returns one record by key.
+func (s *Store) Get(key string) (Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.byKey[key]
+	if !ok {
+		return Record{}, fmt.Errorf("bibstore: key %q: %w", key, ris.ErrNotFound)
+	}
+	return r, nil
+}
+
+// Keys lists all citation keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byKey))
+	for k := range s.byKey {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func normAuthor(a string) string { return strings.ToLower(strings.TrimSpace(a)) }

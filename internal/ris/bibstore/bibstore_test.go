@@ -1,0 +1,88 @@
+package bibstore
+
+import (
+	"errors"
+	"testing"
+
+	"cmtk/internal/ris"
+)
+
+func seed(t *testing.T) *Store {
+	t.Helper()
+	s := New("bib")
+	err := s.Load(
+		Record{Key: "widom96", Author: "Widom", Title: "Constraint Toolkit", Year: 1996, Venue: "ICDE"},
+		Record{Key: "widom94", Author: "Widom", Title: "Proof Rules", Year: 1994, Venue: "TR"},
+		Record{Key: "gm92", Author: "Garcia-Molina", Title: "Demarcation", Year: 1992, Venue: "EDBT"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestByAuthor(t *testing.T) {
+	s := seed(t)
+	recs := s.ByAuthor("widom")
+	if len(recs) != 2 || recs[0].Key != "widom94" || recs[1].Key != "widom96" {
+		t.Fatalf("ByAuthor = %v", recs)
+	}
+	if got := s.ByAuthor("  WIDOM "); len(got) != 2 {
+		t.Fatalf("case/space normalization broken: %v", got)
+	}
+	if got := s.ByAuthor("nobody"); len(got) != 0 {
+		t.Fatalf("unknown author = %v", got)
+	}
+}
+
+func TestGetKeysRemove(t *testing.T) {
+	s := seed(t)
+	r, err := s.Get("gm92")
+	if err != nil || r.Year != 1992 {
+		t.Fatalf("Get = %+v, %v", r, err)
+	}
+	if _, err := s.Get("none"); !errors.Is(err, ris.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if ks := s.Keys(); len(ks) != 3 || ks[0] != "gm92" {
+		t.Fatalf("Keys = %v", ks)
+	}
+	if err := s.Remove("widom94"); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ByAuthor("widom")) != 1 {
+		t.Fatal("author index not updated")
+	}
+	if err := s.Remove("widom94"); !errors.Is(err, ris.ErrNotFound) {
+		t.Fatalf("double remove err = %v", err)
+	}
+	// Removing the last record of an author clears the index entry.
+	s.Remove("gm92")
+	if len(s.ByAuthor("garcia-molina")) != 0 {
+		t.Fatal("author index retains removed author")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	s := seed(t)
+	if err := s.Load(Record{Key: "widom96"}); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	if err := s.Load(Record{}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestCapabilitiesReadOnly(t *testing.T) {
+	s := New("bib")
+	caps := s.Capabilities()
+	if caps.Has(ris.CapWrite) || caps.Has(ris.CapNotify) {
+		t.Fatalf("caps = %v", caps)
+	}
+	if !caps.Has(ris.CapRead | ris.CapQuery) {
+		t.Fatalf("caps = %v", caps)
+	}
+	if s.Name() != "bib" {
+		t.Fatal("Name broken")
+	}
+}

@@ -1,0 +1,632 @@
+// Package relstore implements a small in-memory relational database
+// engine with a SQL subset and row-level triggers.  It stands in for the
+// Sybase and Oracle systems of the paper (Section 4.2): the CM-Translator
+// for relational sources speaks to it exclusively through SQL text built
+// from CM-RID command templates, and implements Notify interfaces by
+// declaring triggers, exactly as the paper describes.
+//
+// Supported SQL:
+//
+//	CREATE TABLE t (a INT, b TEXT, c FLOAT, d BOOL, PRIMARY KEY (a))
+//	DROP TABLE t
+//	INSERT INTO t (a, b) VALUES (1, 'x')
+//	SELECT a, b FROM t WHERE a = 1 AND b <> 'y'
+//	SELECT * FROM t
+//	UPDATE t SET b = 'z' WHERE a = 1
+//	DELETE FROM t WHERE a = 1
+//
+// Comparison operators: = <> != < <= > >=.  Literals: numbers, 'strings'
+// (with ” escaping), NULL, TRUE, FALSE.  WHERE conditions are
+// conjunctions of column-vs-literal comparisons.
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"cmtk/internal/data"
+	"cmtk/internal/ris"
+)
+
+// ColType enumerates column types.
+type ColType int
+
+// Column types.
+const (
+	TInt ColType = iota
+	TFloat
+	TText
+	TBool
+)
+
+func (t ColType) String() string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	case TText:
+		return "TEXT"
+	case TBool:
+		return "BOOL"
+	default:
+		return "?"
+	}
+}
+
+// Column is one column of a table schema.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema describes a table.
+type Schema struct {
+	Table   string
+	Columns []Column
+	PK      []string // primary-key column names, possibly empty
+}
+
+// Row is one tuple, positionally matching the schema's columns.
+type Row []data.Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// TriggerOp distinguishes the mutation kinds visible to triggers.
+type TriggerOp int
+
+// Trigger operations.
+const (
+	TrigInsert TriggerOp = iota
+	TrigUpdate
+	TrigDelete
+)
+
+func (o TriggerOp) String() string {
+	switch o {
+	case TrigInsert:
+		return "INSERT"
+	case TrigUpdate:
+		return "UPDATE"
+	case TrigDelete:
+		return "DELETE"
+	default:
+		return "?"
+	}
+}
+
+// Trigger is a row-level trigger callback.  old is nil for inserts, new is
+// nil for deletes.  Triggers run after the statement commits, outside the
+// engine lock, in firing order.
+type Trigger func(op TriggerOp, table string, old, new Row)
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	Columns  []string
+	Rows     []Row
+	Affected int
+}
+
+type table struct {
+	schema Schema
+	colIdx map[string]int
+	pkIdx  []int
+	rows   map[string]Row
+	nextID int64
+}
+
+// DB is the engine.  The zero value is not usable; use New.
+type DB struct {
+	mu       sync.RWMutex
+	name     string
+	tables   map[string]*table
+	trigMu   sync.Mutex
+	triggers map[string]map[int64]Trigger
+	nextTrig int64
+}
+
+// New creates an empty database with the given name.
+func New(name string) *DB {
+	return &DB{
+		name:     name,
+		tables:   map[string]*table{},
+		triggers: map[string]map[int64]Trigger{},
+	}
+}
+
+// Name returns the database name.
+func (db *DB) Name() string { return db.name }
+
+// Capabilities reports the native capability set: full read/write/delete,
+// content queries, and trigger-based notification.
+func (db *DB) Capabilities() ris.Capability {
+	return ris.CapRead | ris.CapWrite | ris.CapDelete | ris.CapQuery | ris.CapNotify
+}
+
+// Tables lists the table names in sorted order.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SchemaOf returns the schema of a table.
+func (db *DB) SchemaOf(name string) (Schema, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return Schema{}, fmt.Errorf("relstore: table %s: %w", name, ris.ErrNotFound)
+	}
+	return t.schema, nil
+}
+
+// RegisterTrigger installs a trigger on a table (the moral equivalent of
+// CREATE TRIGGER; Section 4.2.1 notes a Sybase CM-Translator declares
+// triggers during initialization).  It returns a cancel function.
+func (db *DB) RegisterTrigger(tableName string, fn Trigger) (func(), error) {
+	key := strings.ToLower(tableName)
+	db.mu.RLock()
+	_, ok := db.tables[key]
+	db.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("relstore: table %s: %w", tableName, ris.ErrNotFound)
+	}
+	db.trigMu.Lock()
+	defer db.trigMu.Unlock()
+	if db.triggers[key] == nil {
+		db.triggers[key] = map[int64]Trigger{}
+	}
+	id := db.nextTrig
+	db.nextTrig++
+	db.triggers[key][id] = fn
+	return func() {
+		db.trigMu.Lock()
+		defer db.trigMu.Unlock()
+		delete(db.triggers[key], id)
+	}, nil
+}
+
+// firing is one pending trigger invocation.
+type firing struct {
+	op       TriggerOp
+	table    string
+	old, new Row
+}
+
+// Exec parses and executes one SQL statement.
+func (db *DB) Exec(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	res, fires, err := db.run(stmt)
+	if err != nil {
+		return nil, err
+	}
+	db.fire(fires)
+	return res, nil
+}
+
+func (db *DB) fire(fires []firing) {
+	if len(fires) == 0 {
+		return
+	}
+	db.trigMu.Lock()
+	type call struct {
+		fn Trigger
+		f  firing
+	}
+	var calls []call
+	for _, f := range fires {
+		trigs := db.triggers[strings.ToLower(f.table)]
+		ids := make([]int64, 0, len(trigs))
+		for id := range trigs {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			calls = append(calls, call{trigs[id], f})
+		}
+	}
+	db.trigMu.Unlock()
+	for _, c := range calls {
+		c.fn(c.f.op, c.f.table, c.f.old, c.f.new)
+	}
+}
+
+func (db *DB) run(stmt Stmt) (*Result, []firing, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch s := stmt.(type) {
+	case *CreateStmt:
+		return db.runCreate(s)
+	case *DropStmt:
+		return db.runDrop(s)
+	case *InsertStmt:
+		return db.runInsert(s)
+	case *SelectStmt:
+		return db.runSelect(s)
+	case *UpdateStmt:
+		return db.runUpdate(s)
+	case *DeleteStmt:
+		return db.runDelete(s)
+	default:
+		return nil, nil, fmt.Errorf("relstore: unknown statement type %T", stmt)
+	}
+}
+
+func (db *DB) runCreate(s *CreateStmt) (*Result, []firing, error) {
+	key := strings.ToLower(s.Schema.Table)
+	if _, exists := db.tables[key]; exists {
+		return nil, nil, fmt.Errorf("relstore: table %s already exists", s.Schema.Table)
+	}
+	t := &table{
+		schema: s.Schema,
+		colIdx: map[string]int{},
+		rows:   map[string]Row{},
+	}
+	for i, c := range s.Schema.Columns {
+		lc := strings.ToLower(c.Name)
+		if _, dup := t.colIdx[lc]; dup {
+			return nil, nil, fmt.Errorf("relstore: duplicate column %s", c.Name)
+		}
+		t.colIdx[lc] = i
+	}
+	for _, pk := range s.Schema.PK {
+		idx, ok := t.colIdx[strings.ToLower(pk)]
+		if !ok {
+			return nil, nil, fmt.Errorf("relstore: primary key column %s not in table", pk)
+		}
+		t.pkIdx = append(t.pkIdx, idx)
+	}
+	db.tables[key] = t
+	return &Result{}, nil, nil
+}
+
+func (db *DB) runDrop(s *DropStmt) (*Result, []firing, error) {
+	key := strings.ToLower(s.Table)
+	if _, ok := db.tables[key]; !ok {
+		return nil, nil, fmt.Errorf("relstore: table %s: %w", s.Table, ris.ErrNotFound)
+	}
+	delete(db.tables, key)
+	return &Result{}, nil, nil
+}
+
+func (t *table) keyFor(r Row) (string, error) {
+	if len(t.pkIdx) == 0 {
+		return "", nil // caller assigns a rowid
+	}
+	parts := make([]string, len(t.pkIdx))
+	for i, idx := range t.pkIdx {
+		if r[idx].IsNull() {
+			return "", fmt.Errorf("relstore: null in primary key column %s", t.schema.Columns[idx].Name)
+		}
+		parts[i] = r[idx].String()
+	}
+	return strings.Join(parts, "\x00"), nil
+}
+
+// coerce checks/adapts a literal to a column type.
+func coerce(v data.Value, ct ColType, col string) (data.Value, error) {
+	if v.IsNull() {
+		return v, nil
+	}
+	switch ct {
+	case TInt:
+		if v.Kind() == data.Int {
+			return v, nil
+		}
+		if f, ok := v.AsFloat(); ok && f == float64(int64(f)) {
+			return data.NewInt(int64(f)), nil
+		}
+	case TFloat:
+		if f, ok := v.AsFloat(); ok {
+			return data.NewFloat(f), nil
+		}
+	case TText:
+		if v.Kind() == data.String {
+			return v, nil
+		}
+	case TBool:
+		if v.Kind() == data.Bool {
+			return v, nil
+		}
+	}
+	return data.NullValue, fmt.Errorf("relstore: value %s does not fit column %s %s", v, col, ct)
+}
+
+func (db *DB) runInsert(s *InsertStmt) (*Result, []firing, error) {
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return nil, nil, fmt.Errorf("relstore: table %s: %w", s.Table, ris.ErrNotFound)
+	}
+	row := make(Row, len(t.schema.Columns))
+	for i := range row {
+		row[i] = data.NullValue
+	}
+	cols := s.Columns
+	if len(cols) == 0 {
+		if len(s.Values) != len(t.schema.Columns) {
+			return nil, nil, fmt.Errorf("relstore: INSERT has %d values for %d columns", len(s.Values), len(t.schema.Columns))
+		}
+		for _, c := range t.schema.Columns {
+			cols = append(cols, c.Name)
+		}
+	}
+	if len(cols) != len(s.Values) {
+		return nil, nil, fmt.Errorf("relstore: INSERT has %d columns but %d values", len(cols), len(s.Values))
+	}
+	for i, cn := range cols {
+		idx, ok := t.colIdx[strings.ToLower(cn)]
+		if !ok {
+			return nil, nil, fmt.Errorf("relstore: no column %s in %s", cn, s.Table)
+		}
+		v, err := coerce(s.Values[i], t.schema.Columns[idx].Type, cn)
+		if err != nil {
+			return nil, nil, err
+		}
+		row[idx] = v
+	}
+	key, err := t.keyFor(row)
+	if err != nil {
+		return nil, nil, err
+	}
+	if key == "" {
+		key = fmt.Sprintf("\x01rowid:%d", t.nextID)
+		t.nextID++
+	} else if _, dup := t.rows[key]; dup {
+		return nil, nil, fmt.Errorf("relstore: duplicate primary key in %s", s.Table)
+	}
+	t.rows[key] = row
+	return &Result{Affected: 1}, []firing{{TrigInsert, t.schema.Table, nil, row.Clone()}}, nil
+}
+
+// matchWhere evaluates the conjunction against a row.
+func (t *table) matchWhere(conds []Cond, r Row) (bool, error) {
+	for _, c := range conds {
+		idx, ok := t.colIdx[strings.ToLower(c.Column)]
+		if !ok {
+			return false, fmt.Errorf("relstore: no column %s in %s", c.Column, t.schema.Table)
+		}
+		v := r[idx]
+		switch c.Op {
+		case "=":
+			if !v.Equal(c.Value) {
+				return false, nil
+			}
+		case "<>", "!=":
+			if v.Equal(c.Value) {
+				return false, nil
+			}
+		default:
+			cmp, ok := v.Compare(c.Value)
+			if !ok {
+				return false, nil
+			}
+			switch c.Op {
+			case "<":
+				if cmp >= 0 {
+					return false, nil
+				}
+			case "<=":
+				if cmp > 0 {
+					return false, nil
+				}
+			case ">":
+				if cmp <= 0 {
+					return false, nil
+				}
+			case ">=":
+				if cmp < 0 {
+					return false, nil
+				}
+			default:
+				return false, fmt.Errorf("relstore: unknown operator %q", c.Op)
+			}
+		}
+	}
+	return true, nil
+}
+
+// pkLookup returns the storage key when the WHERE conjunction pins every
+// primary-key column with an equality — the common translator pattern
+// "WHERE empid = $n" — enabling O(1) row access instead of a scan.
+func (t *table) pkLookup(conds []Cond) (string, bool) {
+	if len(t.pkIdx) == 0 {
+		return "", false
+	}
+	vals := make([]data.Value, len(t.pkIdx))
+	have := make([]bool, len(t.pkIdx))
+	for _, c := range conds {
+		if c.Op != "=" {
+			continue
+		}
+		idx, ok := t.colIdx[strings.ToLower(c.Column)]
+		if !ok {
+			continue
+		}
+		for i, pk := range t.pkIdx {
+			if pk == idx && !have[i] {
+				vals[i] = c.Value
+				have[i] = true
+			}
+		}
+	}
+	parts := make([]string, len(vals))
+	for i := range vals {
+		if !have[i] || vals[i].IsNull() {
+			return "", false
+		}
+		parts[i] = vals[i].String()
+	}
+	return strings.Join(parts, "\x00"), true
+}
+
+// candidateKeys returns the keys a statement's WHERE must examine, in
+// deterministic order: a single key on a full PK equality, else all rows.
+func (t *table) candidateKeys(conds []Cond) []string {
+	if key, ok := t.pkLookup(conds); ok {
+		if _, exists := t.rows[key]; exists {
+			return []string{key}
+		}
+		return nil
+	}
+	return t.sortedKeys()
+}
+
+// sortedKeys iterates rows deterministically.
+func (t *table) sortedKeys() []string {
+	ks := make([]string, 0, len(t.rows))
+	for k := range t.rows {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func (db *DB) runSelect(s *SelectStmt) (*Result, []firing, error) {
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return nil, nil, fmt.Errorf("relstore: table %s: %w", s.Table, ris.ErrNotFound)
+	}
+	var colIdx []int
+	var colNames []string
+	if s.Star {
+		for i, c := range t.schema.Columns {
+			colIdx = append(colIdx, i)
+			colNames = append(colNames, c.Name)
+		}
+	} else {
+		for _, cn := range s.Columns {
+			idx, ok := t.colIdx[strings.ToLower(cn)]
+			if !ok {
+				return nil, nil, fmt.Errorf("relstore: no column %s in %s", cn, s.Table)
+			}
+			colIdx = append(colIdx, idx)
+			colNames = append(colNames, t.schema.Columns[idx].Name)
+		}
+	}
+	res := &Result{Columns: colNames}
+	for _, k := range t.candidateKeys(s.Where) {
+		r := t.rows[k]
+		ok, err := t.matchWhere(s.Where, r)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			continue
+		}
+		out := make(Row, len(colIdx))
+		for i, idx := range colIdx {
+			out[i] = r[idx]
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	res.Affected = len(res.Rows)
+	return res, nil, nil
+}
+
+func (db *DB) runUpdate(s *UpdateStmt) (*Result, []firing, error) {
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return nil, nil, fmt.Errorf("relstore: table %s: %w", s.Table, ris.ErrNotFound)
+	}
+	// Pre-validate SET columns.
+	type setOp struct {
+		idx int
+		v   data.Value
+	}
+	var sets []setOp
+	for _, a := range s.Sets {
+		idx, ok := t.colIdx[strings.ToLower(a.Column)]
+		if !ok {
+			return nil, nil, fmt.Errorf("relstore: no column %s in %s", a.Column, s.Table)
+		}
+		v, err := coerce(a.Value, t.schema.Columns[idx].Type, a.Column)
+		if err != nil {
+			return nil, nil, err
+		}
+		sets = append(sets, setOp{idx, v})
+	}
+	var fires []firing
+	affected := 0
+	for _, k := range t.candidateKeys(s.Where) {
+		r := t.rows[k]
+		ok, err := t.matchWhere(s.Where, r)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			continue
+		}
+		old := r.Clone()
+		nw := r.Clone()
+		for _, so := range sets {
+			nw[so.idx] = so.v
+		}
+		newKey, err := t.keyFor(nw)
+		if err != nil {
+			return nil, nil, err
+		}
+		if newKey == "" {
+			newKey = k // no PK: row keeps its rowid
+		}
+		if newKey != k {
+			if _, dup := t.rows[newKey]; dup {
+				return nil, nil, fmt.Errorf("relstore: update would duplicate primary key in %s", s.Table)
+			}
+			delete(t.rows, k)
+		}
+		t.rows[newKey] = nw
+		affected++
+		fires = append(fires, firing{TrigUpdate, t.schema.Table, old, nw.Clone()})
+	}
+	return &Result{Affected: affected}, fires, nil
+}
+
+func (db *DB) runDelete(s *DeleteStmt) (*Result, []firing, error) {
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return nil, nil, fmt.Errorf("relstore: table %s: %w", s.Table, ris.ErrNotFound)
+	}
+	var fires []firing
+	affected := 0
+	for _, k := range t.candidateKeys(s.Where) {
+		r := t.rows[k]
+		ok, err := t.matchWhere(s.Where, r)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			continue
+		}
+		delete(t.rows, k)
+		affected++
+		fires = append(fires, firing{TrigDelete, t.schema.Table, r, nil})
+	}
+	return &Result{Affected: affected}, fires, nil
+}
+
+// RowCount reports the number of rows in a table, for tests and tools.
+func (db *DB) RowCount(tableName string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(tableName)]
+	if !ok {
+		return 0, fmt.Errorf("relstore: table %s: %w", tableName, ris.ErrNotFound)
+	}
+	return len(t.rows), nil
+}

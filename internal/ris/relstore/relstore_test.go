@@ -1,0 +1,427 @@
+package relstore
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cmtk/internal/data"
+	"cmtk/internal/ris"
+)
+
+func mustExec(t *testing.T, db *DB, sql string) *Result {
+	t.Helper()
+	res, err := db.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return res
+}
+
+func newEmployees(t *testing.T) *DB {
+	t.Helper()
+	db := New("payroll")
+	mustExec(t, db, "CREATE TABLE employees (empid TEXT, salary INT, dept TEXT, PRIMARY KEY (empid))")
+	mustExec(t, db, "INSERT INTO employees (empid, salary, dept) VALUES ('e1', 100, 'sales')")
+	mustExec(t, db, "INSERT INTO employees (empid, salary, dept) VALUES ('e2', 200, 'eng')")
+	mustExec(t, db, "INSERT INTO employees (empid, salary, dept) VALUES ('e3', 300, 'eng')")
+	return db
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := newEmployees(t)
+	res := mustExec(t, db, "SELECT salary FROM employees WHERE empid = 'e2'")
+	if len(res.Rows) != 1 || !res.Rows[0][0].Equal(data.NewInt(200)) {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Columns[0] != "salary" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+}
+
+func TestSelectStarAndOrder(t *testing.T) {
+	db := newEmployees(t)
+	res := mustExec(t, db, "SELECT * FROM employees")
+	if len(res.Rows) != 3 || len(res.Columns) != 3 {
+		t.Fatalf("rows=%d cols=%v", len(res.Rows), res.Columns)
+	}
+	// Deterministic order by PK.
+	if !res.Rows[0][0].Equal(data.NewString("e1")) || !res.Rows[2][0].Equal(data.NewString("e3")) {
+		t.Fatalf("order: %v", res.Rows)
+	}
+}
+
+func TestWhereOperators(t *testing.T) {
+	db := newEmployees(t)
+	cases := map[string]int{
+		"SELECT empid FROM employees WHERE salary > 100":                  2,
+		"SELECT empid FROM employees WHERE salary >= 100":                 3,
+		"SELECT empid FROM employees WHERE salary < 300":                  2,
+		"SELECT empid FROM employees WHERE salary <= 100":                 1,
+		"SELECT empid FROM employees WHERE salary <> 200":                 2,
+		"SELECT empid FROM employees WHERE salary != 200":                 2,
+		"SELECT empid FROM employees WHERE dept = 'eng' AND salary > 200": 1,
+		"SELECT empid FROM employees WHERE dept = 'hr'":                   0,
+	}
+	for sql, want := range cases {
+		res := mustExec(t, db, sql)
+		if len(res.Rows) != want {
+			t.Errorf("%s: %d rows, want %d", sql, len(res.Rows), want)
+		}
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := newEmployees(t)
+	res := mustExec(t, db, "UPDATE employees SET salary = 250 WHERE empid = 'e2'")
+	if res.Affected != 1 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	got := mustExec(t, db, "SELECT salary FROM employees WHERE empid = 'e2'")
+	if !got.Rows[0][0].Equal(data.NewInt(250)) {
+		t.Fatalf("salary = %v", got.Rows[0][0])
+	}
+	// Multi-row update.
+	res = mustExec(t, db, "UPDATE employees SET dept = 'ops' WHERE dept = 'eng'")
+	if res.Affected != 2 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+}
+
+func TestUpdatePrimaryKeyRekeys(t *testing.T) {
+	db := newEmployees(t)
+	mustExec(t, db, "UPDATE employees SET empid = 'e9' WHERE empid = 'e1'")
+	if r := mustExec(t, db, "SELECT * FROM employees WHERE empid = 'e9'"); len(r.Rows) != 1 {
+		t.Fatal("rekeyed row missing")
+	}
+	if r := mustExec(t, db, "SELECT * FROM employees WHERE empid = 'e1'"); len(r.Rows) != 0 {
+		t.Fatal("old key still present")
+	}
+	// Rekey onto an existing PK fails.
+	if _, err := db.Exec("UPDATE employees SET empid = 'e2' WHERE empid = 'e9'"); err == nil {
+		t.Fatal("duplicate-PK update succeeded")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := newEmployees(t)
+	res := mustExec(t, db, "DELETE FROM employees WHERE dept = 'eng'")
+	if res.Affected != 2 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	if n, _ := db.RowCount("employees"); n != 1 {
+		t.Fatalf("RowCount = %d", n)
+	}
+}
+
+func TestDuplicatePKRejected(t *testing.T) {
+	db := newEmployees(t)
+	if _, err := db.Exec("INSERT INTO employees (empid, salary, dept) VALUES ('e1', 1, 'x')"); err == nil {
+		t.Fatal("duplicate insert succeeded")
+	}
+}
+
+func TestTypeCoercion(t *testing.T) {
+	db := New("t")
+	mustExec(t, db, "CREATE TABLE v (i INT, f FLOAT, s TEXT, b BOOL)")
+	// Float that is integral goes into INT; int goes into FLOAT.
+	mustExec(t, db, "INSERT INTO v VALUES (3.0, 4, 'x', TRUE)")
+	res := mustExec(t, db, "SELECT * FROM v")
+	if res.Rows[0][0].Kind() != data.Int || res.Rows[0][1].Kind() != data.Float {
+		t.Fatalf("kinds: %v %v", res.Rows[0][0].Kind(), res.Rows[0][1].Kind())
+	}
+	// Non-integral float into INT fails.
+	if _, err := db.Exec("INSERT INTO v (i) VALUES (3.5)"); err == nil {
+		t.Fatal("3.5 into INT succeeded")
+	}
+	if _, err := db.Exec("INSERT INTO v (s) VALUES (42)"); err == nil {
+		t.Fatal("int into TEXT succeeded")
+	}
+	if _, err := db.Exec("INSERT INTO v (b) VALUES ('yes')"); err == nil {
+		t.Fatal("string into BOOL succeeded")
+	}
+	// NULL fits anywhere (non-PK).
+	mustExec(t, db, "INSERT INTO v (i) VALUES (NULL)")
+}
+
+func TestNullPKRejected(t *testing.T) {
+	db := newEmployees(t)
+	if _, err := db.Exec("INSERT INTO employees (salary) VALUES (5)"); err == nil {
+		t.Fatal("null PK insert succeeded")
+	}
+}
+
+func TestRowsWithoutPK(t *testing.T) {
+	db := New("t")
+	mustExec(t, db, "CREATE TABLE log (msg TEXT)")
+	mustExec(t, db, "INSERT INTO log VALUES ('a')")
+	mustExec(t, db, "INSERT INTO log VALUES ('a')") // duplicates allowed
+	if n, _ := db.RowCount("log"); n != 2 {
+		t.Fatalf("RowCount = %d", n)
+	}
+	mustExec(t, db, "UPDATE log SET msg = 'b'")
+	res := mustExec(t, db, "SELECT msg FROM log WHERE msg = 'b'")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestTriggers(t *testing.T) {
+	db := newEmployees(t)
+	type fire struct {
+		op       TriggerOp
+		old, new Row
+	}
+	var fires []fire
+	cancel, err := db.RegisterTrigger("employees", func(op TriggerOp, tbl string, old, new Row) {
+		if tbl != "employees" {
+			t.Errorf("table = %s", tbl)
+		}
+		fires = append(fires, fire{op, old, new})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "INSERT INTO employees (empid, salary, dept) VALUES ('e4', 400, 'hr')")
+	mustExec(t, db, "UPDATE employees SET salary = 450 WHERE empid = 'e4'")
+	mustExec(t, db, "DELETE FROM employees WHERE empid = 'e4'")
+	if len(fires) != 3 {
+		t.Fatalf("fires = %d", len(fires))
+	}
+	if fires[0].op != TrigInsert || fires[0].old != nil || fires[0].new == nil {
+		t.Fatalf("insert fire: %+v", fires[0])
+	}
+	if fires[1].op != TrigUpdate || !fires[1].old[1].Equal(data.NewInt(400)) || !fires[1].new[1].Equal(data.NewInt(450)) {
+		t.Fatalf("update fire: %+v", fires[1])
+	}
+	if fires[2].op != TrigDelete || fires[2].new != nil {
+		t.Fatalf("delete fire: %+v", fires[2])
+	}
+	// After cancel, no more fires.
+	cancel()
+	mustExec(t, db, "INSERT INTO employees (empid, salary, dept) VALUES ('e5', 1, 'hr')")
+	if len(fires) != 3 {
+		t.Fatalf("trigger fired after cancel")
+	}
+}
+
+func TestTriggerReentrancy(t *testing.T) {
+	// A trigger that issues another statement must not deadlock (triggers
+	// fire outside the engine lock).
+	db := New("t")
+	mustExec(t, db, "CREATE TABLE a (k INT, PRIMARY KEY (k))")
+	mustExec(t, db, "CREATE TABLE audit (k INT)")
+	_, err := db.RegisterTrigger("a", func(op TriggerOp, tbl string, old, new Row) {
+		if op == TrigInsert {
+			if _, err := db.Exec("INSERT INTO audit VALUES (1)"); err != nil {
+				t.Errorf("reentrant exec: %v", err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "INSERT INTO a VALUES (1)")
+	if n, _ := db.RowCount("audit"); n != 1 {
+		t.Fatalf("audit rows = %d", n)
+	}
+}
+
+func TestErrorsAndDrop(t *testing.T) {
+	db := New("t")
+	if _, err := db.Exec("SELECT * FROM missing"); !errors.Is(err, ris.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	mustExec(t, db, "CREATE TABLE x (a INT)")
+	if _, err := db.Exec("CREATE TABLE x (a INT)"); err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+	if _, err := db.Exec("SELECT nope FROM x"); err == nil {
+		t.Fatal("unknown column succeeded")
+	}
+	if _, err := db.Exec("INSERT INTO x (nope) VALUES (1)"); err == nil {
+		t.Fatal("insert into unknown column succeeded")
+	}
+	mustExec(t, db, "DROP TABLE x")
+	if _, err := db.Exec("DROP TABLE x"); !errors.Is(err, ris.ErrNotFound) {
+		t.Fatalf("double drop err = %v", err)
+	}
+	if _, err := db.RegisterTrigger("x", nil); !errors.Is(err, ris.ErrNotFound) {
+		t.Fatalf("trigger on missing table err = %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"BOGUS things",
+		"CREATE TABLE",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (a WIBBLE)",
+		"CREATE TABLE t (a INT, PRIMARY KEY (zz))", // checked at exec
+		"INSERT x VALUES (1)",
+		"INSERT INTO t VALUES",
+		"SELECT FROM t",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a LIKE 'x'",
+		"UPDATE t",
+		"DELETE t",
+		"SELECT a FROM t extra stuff",
+		"INSERT INTO t VALUES ('unterminated)",
+	}
+	db := New("t")
+	for _, sql := range bad {
+		if _, err := db.Exec(sql); err == nil {
+			t.Errorf("Exec(%q) succeeded", sql)
+		}
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	db := New("t")
+	mustExec(t, db, "create table People (Name TEXT, Age int, primary key (name))")
+	mustExec(t, db, "insert into people (NAME, age) values ('ann', 30)")
+	res := mustExec(t, db, "SELECT AGE FROM PEOPLE WHERE name = 'ann'")
+	if len(res.Rows) != 1 || !res.Rows[0][0].Equal(data.NewInt(30)) {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// Reported column names keep declared casing.
+	if res.Columns[0] != "Age" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+}
+
+func TestStringEscaping(t *testing.T) {
+	db := New("t")
+	mustExec(t, db, "CREATE TABLE s (v TEXT)")
+	mustExec(t, db, "INSERT INTO s VALUES ('it''s')")
+	res := mustExec(t, db, "SELECT v FROM s WHERE v = 'it''s'")
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "it's" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSchemaOfAndTables(t *testing.T) {
+	db := newEmployees(t)
+	sch, err := db.SchemaOf("employees")
+	if err != nil || sch.Table != "employees" || len(sch.Columns) != 3 || len(sch.PK) != 1 {
+		t.Fatalf("schema = %+v, %v", sch, err)
+	}
+	if got := db.Tables(); len(got) != 1 || got[0] != "employees" {
+		t.Fatalf("tables = %v", got)
+	}
+	if !db.Capabilities().Has(ris.CapNotify | ris.CapWrite) {
+		t.Fatal("capabilities missing")
+	}
+}
+
+func TestQuoteSQL(t *testing.T) {
+	cases := map[string]data.Value{
+		"NULL":    data.NullValue,
+		"TRUE":    data.NewBool(true),
+		"FALSE":   data.NewBool(false),
+		"42":      data.NewInt(42),
+		"3.5":     data.NewFloat(3.5),
+		"'x'":     data.NewString("x"),
+		"'it''s'": data.NewString("it's"),
+	}
+	for want, v := range cases {
+		if got := QuoteSQL(v); got != want {
+			t.Errorf("QuoteSQL(%s) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// Property: a value round-trips through QuoteSQL + INSERT + SELECT.
+func TestQuickValueRoundTrip(t *testing.T) {
+	db := New("t")
+	mustExec(t, db, "CREATE TABLE rt (k INT, v TEXT, PRIMARY KEY (k))")
+	k := int64(0)
+	f := func(s string) bool {
+		if strings.ContainsRune(s, 0) {
+			return true // NUL not representable in our line protocols anyway
+		}
+		k++
+		ins := "INSERT INTO rt (k, v) VALUES (" + QuoteSQL(data.NewInt(k)) + ", " + QuoteSQL(data.NewString(s)) + ")"
+		if _, err := db.Exec(ins); err != nil {
+			return false
+		}
+		sel := "SELECT v FROM rt WHERE k = " + QuoteSQL(data.NewInt(k))
+		res, err := db.Exec(sel)
+		if err != nil || len(res.Rows) != 1 {
+			return false
+		}
+		return res.Rows[0][0].Str() == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WHERE equality on the PK returns exactly the inserted row.
+func TestQuickPKLookup(t *testing.T) {
+	f := func(keys []int64) bool {
+		db := New("q")
+		if _, err := db.Exec("CREATE TABLE t (k INT, PRIMARY KEY (k))"); err != nil {
+			return false
+		}
+		seen := map[int64]bool{}
+		for _, k := range keys {
+			_, err := db.Exec("INSERT INTO t VALUES (" + data.NewInt(k).String() + ")")
+			if seen[k] {
+				if err == nil {
+					return false // dup must fail
+				}
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			seen[k] = true
+		}
+		for k := range seen {
+			res, err := db.Exec("SELECT k FROM t WHERE k = " + data.NewInt(k).String())
+			if err != nil || len(res.Rows) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPKFastPathSemantics(t *testing.T) {
+	db := newEmployees(t)
+	// PK equality with an extra non-matching condition: no rows.
+	res := mustExec(t, db, "SELECT empid FROM employees WHERE empid = 'e1' AND salary > 999")
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// PK equality on a missing key.
+	res = mustExec(t, db, "SELECT empid FROM employees WHERE empid = 'nobody'")
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// Update and delete through the fast path.
+	if r := mustExec(t, db, "UPDATE employees SET salary = 1 WHERE empid = 'e2' AND dept = 'eng'"); r.Affected != 1 {
+		t.Fatalf("affected = %d", r.Affected)
+	}
+	if r := mustExec(t, db, "DELETE FROM employees WHERE empid = 'e2'"); r.Affected != 1 {
+		t.Fatalf("affected = %d", r.Affected)
+	}
+	// Numeric coercion in the key: an INT pk matched by a float literal.
+	mustExec(t, db, "CREATE TABLE nums (k INT, v TEXT, PRIMARY KEY (k))")
+	mustExec(t, db, "INSERT INTO nums VALUES (5, 'x')")
+	res = mustExec(t, db, "SELECT v FROM nums WHERE k = 5.0")
+	if len(res.Rows) != 1 {
+		t.Fatalf("float-literal PK lookup rows = %v", res.Rows)
+	}
+	// Non-equality on the PK falls back to a scan.
+	res = mustExec(t, db, "SELECT empid FROM employees WHERE empid >= 'e1'")
+	if len(res.Rows) != 2 {
+		t.Fatalf("range rows = %v", res.Rows)
+	}
+}

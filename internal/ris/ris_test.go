@@ -1,0 +1,47 @@
+package ris
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCapabilityHasAndString(t *testing.T) {
+	c := CapRead | CapWrite | CapNotify
+	if !c.Has(CapRead) || !c.Has(CapRead|CapWrite) {
+		t.Error("Has broken")
+	}
+	if c.Has(CapDelete) || c.Has(CapRead|CapDelete) {
+		t.Error("Has false positive")
+	}
+	if got := c.String(); got != "read|write|notify" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Capability(0).String(); got != "none" {
+		t.Errorf("zero String = %q", got)
+	}
+}
+
+func TestTransient(t *testing.T) {
+	base := errors.New("boom")
+	err := Transient(base)
+	if !IsTransient(err) {
+		t.Error("Transient not transient")
+	}
+	if !errors.Is(err, base) {
+		t.Error("Unwrap broken")
+	}
+	wrapped := fmt.Errorf("context: %w", err)
+	if !IsTransient(wrapped) {
+		t.Error("wrapped transient not detected")
+	}
+	if IsTransient(base) || IsTransient(nil) {
+		t.Error("false positive")
+	}
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+	if err.Error() == "" {
+		t.Error("empty error text")
+	}
+}

@@ -1,0 +1,48 @@
+package rule
+
+import (
+	"testing"
+
+	"cmtk/internal/data"
+	"cmtk/internal/event"
+)
+
+func BenchmarkParseRule(b *testing.B) {
+	const src = "cache: N(salary1(n), v) ->5s (Cx(n) != v)? WR(salary2(n), v), W(Cx(n), v)"
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseRule(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTemplateMatch(b *testing.B) {
+	tpl, err := ParseTemplate("N(salary1(n), v)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := event.N(data.Item("salary1", data.NewString("e7")), data.NewInt(100))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tpl.Match(d); !ok {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkExprEval(b *testing.B) {
+	e, err := ParseExpr("abs(b - a) > 0.1 * a && Cx != b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := MapEnv{
+		Params: event.Bindings{"a": data.NewFloat(100), "b": data.NewFloat(120)},
+		Items:  data.Interpretation{"Cx": data.NewInt(7)},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Eval(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package rule_test
+
+import (
+	"fmt"
+
+	"cmtk/internal/data"
+	"cmtk/internal/event"
+	"cmtk/internal/rule"
+)
+
+// ExampleParseRule parses the paper's cached-propagation strategy rule
+// and shows its normalized form.
+func ExampleParseRule() {
+	r, err := rule.ParseRule("cache: N(X, b) ->5s (Cx != b)? WR(Y, b), W(Cx, b)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r)
+	// Output:
+	// cache: N(X, b) ->5s (Cx != b)? WR(Y, b), W(Cx, b)
+}
+
+// ExampleParseExpr evaluates the Section 3.1.1 conditional-notify filter.
+func ExampleParseExpr() {
+	cond, err := rule.ParseExpr("abs(b - a) > 0.1 * a")
+	if err != nil {
+		panic(err)
+	}
+	env := rule.MapEnv{Params: event.Bindings{
+		"a": data.NewFloat(100),
+		"b": data.NewFloat(120),
+	}}
+	ok, _ := rule.EvalBool(cond, env)
+	fmt.Println("20% change notifies:", ok)
+	// Output:
+	// 20% change notifies: true
+}

@@ -1,0 +1,204 @@
+package rule
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"cmtk/internal/data"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tPunct
+)
+
+// token is one lexical token.  Numbers carry their parsed value and any
+// attached unit suffix ("5s" lexes as one number token with unit "s").
+type token struct {
+	kind tokKind
+	text string     // identifier text or punct text
+	val  data.Value // for tNumber and tString
+	unit string     // for tNumber: attached unit letters, "" if none
+	pos  int        // byte offset, for error messages
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	case tIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	case tNumber:
+		return fmt.Sprintf("number %q", t.text+t.unit)
+	case tString:
+		return fmt.Sprintf("string %s", t.val)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer tokenizes one logical line of rule-language input.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// multi-character punctuation, longest first.
+var multiPunct = []string{"->", "&&", "||", "==", "!=", "<=", ">="}
+
+// lex tokenizes src fully, returning an error with position on bad input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+		switch {
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c >= '0' && c <= '9', c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+			if err := l.lexNumber(false); err != nil {
+				return nil, err
+			}
+		case isIdentStart(r):
+			l.lexIdent()
+		default:
+			matched := false
+			for _, mp := range multiPunct {
+				if strings.HasPrefix(l.src[l.pos:], mp) {
+					l.toks = append(l.toks, token{kind: tPunct, text: mp, pos: start})
+					l.pos += len(mp)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				break
+			}
+			switch c {
+			case '(', ')', ',', '?', ':', '*', '+', '-', '/', '<', '>', '=', '!', '@':
+				l.toks = append(l.toks, token{kind: tPunct, text: string(c), pos: start})
+				l.pos++
+			default:
+				return nil, fmt.Errorf("rule: unexpected character %q at offset %d", string(c), start)
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			l.pos++
+			continue
+		}
+		if c == '#' || strings.HasPrefix(l.src[l.pos:], "//") {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case '\\':
+			l.pos += 2
+		case '"':
+			l.pos++
+			raw := l.src[start:l.pos]
+			s, err := strconv.Unquote(raw)
+			if err != nil {
+				return fmt.Errorf("rule: bad string literal at offset %d: %w", start, err)
+			}
+			l.toks = append(l.toks, token{kind: tString, val: data.NewString(s), pos: start})
+			return nil
+		default:
+			l.pos++
+		}
+	}
+	return fmt.Errorf("rule: unterminated string at offset %d", start)
+}
+
+func (l *lexer) lexNumber(neg bool) error {
+	start := l.pos
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	// Attach a unit suffix of letters directly following the digits:
+	// 5s, 300ms, 1.5m.
+	unitStart := l.pos
+	for l.pos < len(l.src) && isLetter(l.src[l.pos]) {
+		l.pos++
+	}
+	unit := l.src[unitStart:l.pos]
+	var v data.Value
+	if strings.Contains(text, ".") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return fmt.Errorf("rule: bad number %q at offset %d", text, start)
+		}
+		if neg {
+			f = -f
+		}
+		v = data.NewFloat(f)
+	} else {
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return fmt.Errorf("rule: bad number %q at offset %d", text, start)
+		}
+		if neg {
+			i = -i
+		}
+		v = data.NewInt(i)
+	}
+	l.toks = append(l.toks, token{kind: tNumber, text: text, val: v, unit: unit, pos: start})
+	return nil
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.pos += size
+	}
+	l.toks = append(l.toks, token{kind: tIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,974 @@
+// Package shell implements the CM-Shell (Figures 1 and 2): a
+// general-purpose distributed rule engine configured by a Strategy
+// Specification.  Each shell hosts one or more sites (a site without its
+// own shell is hosted by a peer, as for Site 3 in Figure 1), owns the
+// strategy rules whose left-hand-side events occur at its sites, keeps
+// CM-private data items for use in strategies, generates periodic events,
+// routes rule firings to the shells owning the right-hand-side sites, and
+// propagates interface failures so guarantees can be marked invalid
+// (Section 5).
+//
+// Every event that flows through a shell is recorded to a trace, so a
+// deployment can be re-validated against the Appendix A.2 execution
+// properties and its guarantees checked after the fact.
+package shell
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cmtk/internal/cmi"
+	"cmtk/internal/data"
+	"cmtk/internal/event"
+	"cmtk/internal/rule"
+	"cmtk/internal/trace"
+	"cmtk/internal/transport"
+	"cmtk/internal/vclock"
+)
+
+// Options configures a shell.
+type Options struct {
+	// Clock drives timers and timestamps; nil means real time.
+	Clock vclock.Clock
+	// Trace records events; nil allocates a private trace.  Simulated
+	// deployments share one trace across shells so the checker sees the
+	// whole execution.
+	Trace *trace.Trace
+	// FireDelay is the engine's processing delay between matching a rule's
+	// LHS and dispatching its RHS, modelling CM load.  It must be well
+	// under the smallest rule δ for metric guarantees to hold.
+	FireDelay time.Duration
+}
+
+// Shell is one CM-Shell process.
+type Shell struct {
+	id    string
+	spec  *rule.Spec
+	clock vclock.Clock
+	tr    *trace.Trace
+	opts  Options
+
+	// run-to-completion event queue
+	qmu        sync.Mutex
+	queue      []func()
+	processing bool
+
+	// bases with an active notification subscription; only their writes
+	// need echo suppression.
+	subscribed map[string]bool
+
+	// configuration (fixed after Start)
+	sites     map[string]cmi.Interface // hosted site -> translator (nil for private-only sites)
+	routing   map[string]string        // site -> shell ID
+	ep        transport.Endpoint
+	owned     []rule.Rule
+	periodics []vclock.Timer
+	cancels   []func()
+	started   bool
+
+	// private CM data (Section 3.2: "Each CM-Shell can have private data")
+	privMu  sync.RWMutex
+	private data.Interpretation
+
+	// CM-initiated writes pending confirmation, to tell W from Ws when the
+	// underlying source's trigger fires for our own write.
+	pendMu  sync.Mutex
+	pending map[string]int
+
+	// implicit interface rules generated for provenance
+	implMu   sync.Mutex
+	implicit map[string]rule.Rule
+
+	// failures observed locally or propagated from peers
+	failMu     sync.Mutex
+	failures   []cmi.Failure
+	failureFns []func(cmi.Failure)
+	custom     map[string]func(transport.Message)
+}
+
+// New creates a shell for the given strategy specification.
+func New(id string, spec *rule.Spec, opts Options) *Shell {
+	clock := opts.Clock
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	tr := opts.Trace
+	if tr == nil {
+		tr = trace.New(nil)
+	}
+	return &Shell{
+		id:         id,
+		spec:       spec,
+		clock:      clock,
+		tr:         tr,
+		opts:       opts,
+		sites:      map[string]cmi.Interface{},
+		routing:    map[string]string{},
+		private:    data.NewInterpretation(),
+		pending:    map[string]int{},
+		implicit:   map[string]rule.Rule{},
+		subscribed: map[string]bool{},
+	}
+}
+
+// ID returns the shell's identity.
+func (s *Shell) ID() string { return s.id }
+
+// Trace returns the shell's event trace.
+func (s *Shell) Trace() *trace.Trace { return s.tr }
+
+// AddSite declares that this shell hosts a site.  iface may be nil for a
+// site holding only CM-private items.  The shell also registers itself as
+// that site's route.
+func (s *Shell) AddSite(site string, iface cmi.Interface) {
+	s.sites[site] = iface
+	s.routing[site] = s.id
+	if iface != nil {
+		iface.OnFailure(func(f cmi.Failure) { s.reportFailure(f, true) })
+	}
+}
+
+// Route declares that a remote shell hosts a site.
+func (s *Shell) Route(site, shellID string) { s.routing[site] = shellID }
+
+// Attach joins the shell to an inter-shell network.
+func (s *Shell) Attach(n transport.Network) error {
+	ep, err := n.Join(s.id, s.receive)
+	if err != nil {
+		return err
+	}
+	s.ep = ep
+	return nil
+}
+
+// AttachEndpoint installs a pre-built endpoint (used by the TCP mesh,
+// whose endpoint is constructed with the receive callback up front).
+func (s *Shell) AttachEndpoint(ep transport.Endpoint) { s.ep = ep }
+
+// Receive is the inbound message callback to wire into transports that
+// are constructed before the shell (e.g. transport.NewTCP).
+func (s *Shell) Receive(m transport.Message) { s.receive(m) }
+
+// ruleSite computes the site owning a rule: the site of its LHS item, or
+// for periodic rules the site of the first RHS effect.
+func ruleSite(spec *rule.Spec, r rule.Rule) (string, error) {
+	if r.LHS.Op.HasItem() {
+		site, ok := spec.SiteOf(r.LHS.Item.Base)
+		if !ok {
+			return "", fmt.Errorf("shell: rule %s: no site for item %s", r.ID, r.LHS.Item.Base)
+		}
+		return site, nil
+	}
+	if r.LHS.Op == event.OpP {
+		for _, st := range r.Steps {
+			if st.Eff.Op.HasItem() {
+				site, ok := spec.SiteOf(st.Eff.Item.Base)
+				if !ok {
+					return "", fmt.Errorf("shell: rule %s: no site for item %s", r.ID, st.Eff.Item.Base)
+				}
+				return site, nil
+			}
+		}
+		return "", fmt.Errorf("shell: periodic rule %s has no sited effect", r.ID)
+	}
+	return "", fmt.Errorf("shell: rule %s has unplaceable LHS %s", r.ID, r.LHS)
+}
+
+// effectSite computes the single site at which a rule's RHS executes.
+func effectSite(spec *rule.Spec, r rule.Rule) (string, error) {
+	for _, st := range r.Steps {
+		if st.Eff.Op.HasItem() {
+			site, ok := spec.SiteOf(st.Eff.Item.Base)
+			if !ok {
+				return "", fmt.Errorf("shell: rule %s: no site for effect item %s", r.ID, st.Eff.Item.Base)
+			}
+			return site, nil
+		}
+	}
+	// All effects are F: the rule never executes anything.
+	return "", nil
+}
+
+// Start computes rule ownership, subscribes to notification interfaces,
+// and starts periodic event generation.  The toolkit calls this after all
+// sites, routes and the transport are in place (the initialization phase
+// of Section 4.1).
+func (s *Shell) Start() error {
+	if s.started {
+		return fmt.Errorf("shell %s: already started", s.id)
+	}
+	// Own the rules whose LHS site is hosted here.
+	needNotify := map[string]string{} // item base -> site, for N/Ws LHS rules
+	periods := map[time.Duration]string{}
+	for _, r := range s.spec.Rules {
+		site, err := ruleSite(s.spec, r)
+		if err != nil {
+			return err
+		}
+		if _, hosted := s.sites[site]; !hosted {
+			continue
+		}
+		s.owned = append(s.owned, r)
+		switch r.LHS.Op {
+		case event.OpN, event.OpWs:
+			needNotify[r.LHS.Item.Base] = site
+		case event.OpP:
+			periods[r.LHS.Period] = site
+		}
+	}
+	// Subscribe to spontaneous-change notification for bases the strategy
+	// listens to.
+	for base, site := range needNotify {
+		iface := s.sites[site]
+		if iface == nil {
+			continue // private items: writes flow through the engine itself
+		}
+		base := base
+		site := site
+		cancel, err := iface.Subscribe(base, func(item data.ItemName, old, new data.Value) {
+			s.onSourceChange(site, item, old, new)
+		})
+		if err != nil {
+			return fmt.Errorf("shell %s: subscribing to %s at %s: %w", s.id, base, site, err)
+		}
+		s.subscribed[base] = true
+		s.cancels = append(s.cancels, cancel)
+	}
+	// Periodic events.
+	for p, site := range periods {
+		p := p
+		site := site
+		tm := vclock.Every(s.clock, p, func() {
+			s.post(func() {
+				e := s.record(&event.Event{Time: s.clock.Now(), Site: site, Desc: event.P(p)})
+				s.handleEvent(e)
+			})
+		})
+		s.periodics = append(s.periodics, tm)
+	}
+	s.started = true
+	return nil
+}
+
+// Stop cancels subscriptions and periodic schedules.
+func (s *Shell) Stop() {
+	for _, tm := range s.periodics {
+		tm.Stop()
+	}
+	s.periodics = nil
+	for _, c := range s.cancels {
+		c()
+	}
+	s.cancels = nil
+	if s.ep != nil {
+		s.ep.Close()
+	}
+	s.started = false
+}
+
+// post runs f on the shell's run-to-completion queue: events generated
+// while handling an event are processed after it, never reentrantly.
+func (s *Shell) post(f func()) {
+	s.qmu.Lock()
+	s.queue = append(s.queue, f)
+	if s.processing {
+		s.qmu.Unlock()
+		return
+	}
+	s.processing = true
+	for {
+		if len(s.queue) == 0 {
+			s.processing = false
+			s.qmu.Unlock()
+			return
+		}
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		s.qmu.Unlock()
+		next()
+		s.qmu.Lock()
+	}
+}
+
+// record appends an event to the trace.
+func (s *Shell) record(e *event.Event) *event.Event { return s.tr.Append(e) }
+
+// pendKey identifies a CM-initiated write for trigger suppression.
+func pendKey(item data.ItemName, v data.Value) string { return item.Key() + "\x00" + v.String() }
+
+// onSourceChange receives a native change callback from a translator and
+// decides whether it is the echo of a CM write (suppressed — the W event
+// was recorded by the write path) or a genuinely spontaneous update, which
+// becomes Ws then N per the notify interface statement.
+func (s *Shell) onSourceChange(site string, item data.ItemName, old, new data.Value) {
+	s.pendMu.Lock()
+	k := pendKey(item, new)
+	if s.pending[k] > 0 {
+		s.pending[k]--
+		if s.pending[k] == 0 {
+			delete(s.pending, k)
+		}
+		s.pendMu.Unlock()
+		return
+	}
+	s.pendMu.Unlock()
+	s.post(func() {
+		now := s.clock.Now()
+		ws := s.record(&event.Event{Time: now, Site: site, Desc: event.Ws(item, old, new)})
+		notifRule := s.implicitRule("notify", site, item)
+		n := s.record(&event.Event{
+			Time: now, Site: site,
+			Desc: event.N(item, new),
+			Rule: notifRule.ID, Trigger: ws,
+		})
+		s.handleEvent(ws)
+		s.handleEvent(n)
+	})
+}
+
+// Spontaneous injects a spontaneous write for items without a translator
+// (CM-private scenarios and tests).  It mirrors onSourceChange.
+func (s *Shell) Spontaneous(item data.ItemName, old, new data.Value) {
+	site, ok := s.spec.SiteOf(item.Base)
+	if !ok {
+		site = s.id
+	}
+	if _, hosted := s.sites[site]; hosted {
+		if s.spec.Private[item.Base] == site {
+			s.privMu.Lock()
+			s.private.Set(item, new)
+			s.privMu.Unlock()
+		}
+	}
+	s.post(func() {
+		e := s.record(&event.Event{Time: s.clock.Now(), Site: site, Desc: event.Ws(item, old, new)})
+		s.handleEvent(e)
+	})
+}
+
+// handleEvent matches an event against the owned rules and dispatches
+// firings.  It must run on the shell's queue.
+func (s *Shell) handleEvent(e *event.Event) {
+	for _, r := range s.owned {
+		b, ok := r.LHS.Match(e.Desc)
+		if !ok {
+			continue
+		}
+		// C0 is evaluated at the LHS site at trigger time, with
+		// equality-binding semantics (Read interface pattern).
+		env := s.env(e.Site, b)
+		condOK, err := rule.EvalCondBinding(r.Cond, env, b)
+		if err != nil {
+			s.reportFailure(cmi.Failure{
+				Kind: cmi.FailLogical, Site: e.Site, When: s.clock.Now(),
+				Op: "condition", Err: fmt.Errorf("rule %s: %w", r.ID, err),
+			}, true)
+			continue
+		}
+		if !condOK {
+			continue
+		}
+		r := r
+		bCopy := b.Clone()
+		trigger := e
+		if s.opts.FireDelay == 0 {
+			// Dispatch inline: handleEvent runs on the shell queue, so
+			// firings leave in match order and the FIFO transport keeps
+			// them ordered — required on the real clock, where timer
+			// goroutines would otherwise race (Appendix A.2 property 7).
+			s.dispatch(r, bCopy, trigger)
+			continue
+		}
+		s.clock.AfterFunc(s.opts.FireDelay, func() {
+			s.dispatch(r, bCopy, trigger)
+		})
+	}
+}
+
+// dispatch routes a rule firing to the shell hosting the RHS site.
+func (s *Shell) dispatch(r rule.Rule, b event.Bindings, trigger *event.Event) {
+	effSite, err := effectSite(s.spec, r)
+	if err != nil || effSite == "" {
+		return
+	}
+	target, ok := s.routing[effSite]
+	if !ok {
+		s.reportFailure(cmi.Failure{
+			Kind: cmi.FailLogical, Site: effSite, When: s.clock.Now(),
+			Op: "route", Err: fmt.Errorf("no shell hosts site %s", effSite),
+		}, true)
+		return
+	}
+	if target == s.id {
+		s.post(func() { s.executeSteps(r, b, trigger) })
+		return
+	}
+	if s.ep == nil {
+		s.reportFailure(cmi.Failure{
+			Kind: cmi.FailLogical, Site: effSite, When: s.clock.Now(),
+			Op: "route", Err: fmt.Errorf("shell %s has no transport", s.id),
+		}, true)
+		return
+	}
+	msg := transport.Message{
+		Kind:         "fire",
+		Rule:         r.ID,
+		Bindings:     encodeBindings(b),
+		Trigger:      transport.EventRef{Site: trigger.Site, Seq: trigger.Seq, Time: trigger.Time, Desc: trigger.Desc.String()},
+		TriggerEvent: trigger,
+	}
+	if err := s.ep.Send(target, msg); err != nil {
+		s.reportFailure(cmi.Failure{
+			Kind: cmi.FailMetric, Site: effSite, When: s.clock.Now(),
+			Op: "send", Err: err,
+		}, true)
+	}
+}
+
+// receive handles an inbound transport message.
+func (s *Shell) receive(m transport.Message) {
+	switch m.Kind {
+	case "fire":
+		r, ok := s.spec.RuleByID(m.Rule)
+		if !ok {
+			s.reportFailure(cmi.Failure{
+				Kind: cmi.FailLogical, Site: s.id, When: s.clock.Now(),
+				Op: "receive", Err: fmt.Errorf("unknown rule %q from %s", m.Rule, m.From),
+			}, false)
+			return
+		}
+		b, err := decodeBindings(m.Bindings)
+		if err != nil {
+			s.reportFailure(cmi.Failure{
+				Kind: cmi.FailLogical, Site: s.id, When: s.clock.Now(),
+				Op: "receive", Err: err,
+			}, false)
+			return
+		}
+		trigger := m.TriggerEvent
+		if trigger == nil {
+			trigger = stubTrigger(m.Trigger)
+		}
+		s.post(func() { s.executeSteps(r, b, trigger) })
+	case "failure":
+		kind := cmi.FailMetric
+		if m.FailKind == "logical" {
+			kind = cmi.FailLogical
+		}
+		s.reportFailure(cmi.Failure{
+			Kind: kind, Site: m.FailSite, When: s.clock.Now(),
+			Op: m.FailOp, Err: fmt.Errorf("%s", m.FailErr),
+		}, false)
+	default:
+		s.failMu.Lock()
+		fn := s.custom[m.Kind]
+		s.failMu.Unlock()
+		if fn != nil {
+			s.post(func() { fn(m) })
+		}
+	}
+}
+
+// RequestWrite issues a CM-originated write request outside any rule (a
+// programmatic strategy action, like the Section 6.2 end-of-day sweep).
+// The WR event is recorded as spontaneous — the sweeper plays the role of
+// an application — and the performed W chains from it through the write
+// interface rule.  It runs asynchronously on the shell's queue.
+func (s *Shell) RequestWrite(item data.ItemName, v data.Value) {
+	site, ok := s.spec.SiteOf(item.Base)
+	if !ok {
+		site = s.id
+	}
+	s.post(func() {
+		desc := event.WR(item, v)
+		wr := s.record(&event.Event{Time: s.clock.Now(), Site: site, Desc: desc})
+		s.handleEvent(wr)
+		iface := s.sites[site]
+		if s.spec.Private[item.Base] != "" {
+			iface = nil // CM-private items never go through a translator
+		}
+		if iface == nil {
+			s.privMu.Lock()
+			s.private.Set(item, v)
+			s.privMu.Unlock()
+			writeRule := s.implicitRule("write", site, item)
+			w := s.record(&event.Event{Time: s.clock.Now(), Site: site,
+				Desc: event.W(item, v), Rule: writeRule.ID, Trigger: wr})
+			s.handleEvent(w)
+			return
+		}
+		if !s.translatorWrite(iface, desc) {
+			return
+		}
+		writeRule := s.implicitRule("write", site, item)
+		w := s.record(&event.Event{Time: s.clock.Now(), Site: site,
+			Desc: event.W(item, v), Rule: writeRule.ID, Trigger: wr})
+		s.handleEvent(w)
+	})
+}
+
+// Interface returns the translator for a hosted site (nil when the site
+// is private-only or not hosted here).
+func (s *Shell) Interface(site string) cmi.Interface { return s.sites[site] }
+
+// Do runs f on the shell's event queue, serialized with event handling.
+func (s *Shell) Do(f func()) { s.post(f) }
+
+// HandleKind registers a handler for a custom inter-shell message kind
+// (programmatic strategy components such as the Demarcation Protocol use
+// this for their own request/grant traffic).  Handlers run on the shell's
+// event queue.
+func (s *Shell) HandleKind(kind string, fn func(transport.Message)) {
+	s.failMu.Lock() // reuse; handler registration is rare
+	if s.custom == nil {
+		s.custom = map[string]func(transport.Message){}
+	}
+	s.custom[kind] = fn
+	s.failMu.Unlock()
+}
+
+// SendCustom sends a custom message to a peer shell.
+func (s *Shell) SendCustom(to string, m transport.Message) error {
+	if s.ep == nil {
+		return fmt.Errorf("shell %s: no transport", s.id)
+	}
+	return s.ep.Send(to, m)
+}
+
+// stubTrigger reconstructs a trigger event from its wire reference; the
+// interpretations are unknown, so remote deployments skip full trace
+// checking (simulated deployments share a trace and never hit this path).
+func stubTrigger(ref transport.EventRef) *event.Event {
+	e := &event.Event{Site: ref.Site, Seq: ref.Seq, Time: ref.Time}
+	if tpl, err := rule.ParseTemplate(ref.Desc); err == nil {
+		if d, err := tpl.Subst(event.Bindings{}); err == nil {
+			e.Desc = d
+		}
+	}
+	return e
+}
+
+// executeSteps runs the RHS of a rule at this shell.  Runs on the queue.
+func (s *Shell) executeSteps(r rule.Rule, b event.Bindings, trigger *event.Event) {
+	// The reserved parameter "now" is bound to the current time at the
+	// effect site when the rule fires (used by monitor strategies to
+	// record Tb, Section 6.3).
+	b = b.Clone()
+	b["now"] = vclock.TimeValue(s.clock.Now())
+	for _, step := range r.Steps {
+		if step.Eff.Op == event.OpF {
+			continue // promises, not actions
+		}
+		var desc event.Desc
+		if step.ValExpr != nil {
+			// Computed effect value: evaluate the expression against data
+			// local to the effect site at firing time (the Section 7.1
+			// recomputation pattern).
+			item, err := step.Eff.Item.Subst(b)
+			if err != nil {
+				s.reportFailure(cmi.Failure{
+					Kind: cmi.FailLogical, Site: s.id, When: s.clock.Now(),
+					Op: "execute", Err: fmt.Errorf("rule %s: %w", r.ID, err),
+				}, true)
+				continue
+			}
+			evalSite, ok := s.spec.SiteOf(item.Base)
+			if !ok {
+				evalSite = s.id
+			}
+			v, err := step.ValExpr.Eval(s.env(evalSite, b))
+			if err != nil {
+				s.reportFailure(cmi.Failure{
+					Kind: cmi.FailLogical, Site: evalSite, When: s.clock.Now(),
+					Op: "execute", Err: fmt.Errorf("rule %s eval: %w", r.ID, err),
+				}, true)
+				continue
+			}
+			desc = event.Desc{Op: step.Eff.Op, Item: item, Val: v}
+		} else {
+			var err error
+			desc, err = step.Eff.Subst(b)
+			if err != nil {
+				s.reportFailure(cmi.Failure{
+					Kind: cmi.FailLogical, Site: s.id, When: s.clock.Now(),
+					Op: "execute", Err: fmt.Errorf("rule %s: %w", r.ID, err),
+				}, true)
+				continue
+			}
+		}
+		site, ok := s.spec.SiteOf(desc.Item.Base)
+		if !ok {
+			site = s.id
+		}
+		// The step guard is evaluated against data local to the effect
+		// site at firing time.
+		if step.Cond != nil {
+			ok, err := rule.EvalBool(step.Cond, s.env(site, b))
+			if err != nil {
+				s.reportFailure(cmi.Failure{
+					Kind: cmi.FailLogical, Site: site, When: s.clock.Now(),
+					Op: "guard", Err: fmt.Errorf("rule %s: %w", r.ID, err),
+				}, true)
+				continue
+			}
+			if !ok {
+				continue
+			}
+		}
+		s.emit(r, desc, site, trigger)
+	}
+}
+
+// emit performs one effect event.
+func (s *Shell) emit(r rule.Rule, desc event.Desc, site string, trigger *event.Event) {
+	now := s.clock.Now()
+	switch desc.Op {
+	case event.OpWR:
+		wr := s.record(&event.Event{Time: now, Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
+		s.handleEvent(wr)
+		iface := s.sites[site]
+		if iface == nil {
+			// No translator: treat as a write to private/engine state.
+			s.performPrivateWrite(r, desc, site, wr)
+			return
+		}
+		if !s.translatorWrite(iface, desc) {
+			return // failure already reported by the translator hub
+		}
+		writeRule := s.implicitRule("write", site, desc.Item)
+		w := s.record(&event.Event{
+			Time: s.clock.Now(), Site: site,
+			Desc: event.W(desc.Item, desc.Val),
+			Rule: writeRule.ID, Trigger: wr,
+		})
+		s.handleEvent(w)
+	case event.OpW:
+		// Direct write: CM-private items live in the shell; a W effect on
+		// a database item performs the write immediately (no request hop).
+		if s.spec.Private[desc.Item.Base] != "" {
+			w := s.record(&event.Event{Time: now, Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
+			s.privMu.Lock()
+			s.private.Set(desc.Item, desc.Val)
+			s.privMu.Unlock()
+			s.handleEvent(w)
+			return
+		}
+		iface := s.sites[site]
+		if iface == nil {
+			w := s.record(&event.Event{Time: now, Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
+			s.privMu.Lock()
+			s.private.Set(desc.Item, desc.Val)
+			s.privMu.Unlock()
+			s.handleEvent(w)
+			return
+		}
+		if !s.translatorWrite(iface, desc) {
+			return
+		}
+		w := s.record(&event.Event{Time: s.clock.Now(), Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
+		s.handleEvent(w)
+	case event.OpRR:
+		rr := s.record(&event.Event{Time: now, Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
+		s.handleEvent(rr)
+		iface := s.sites[site]
+		var v data.Value
+		if iface != nil {
+			val, exists, err := iface.Read(desc.Item)
+			if err != nil {
+				return // reported by the hub
+			}
+			if exists {
+				v = val
+			}
+		} else {
+			s.privMu.RLock()
+			v = s.private.Get(desc.Item)
+			s.privMu.RUnlock()
+		}
+		readRule := s.implicitRule("read", site, desc.Item)
+		resp := s.record(&event.Event{
+			Time: s.clock.Now(), Site: site,
+			Desc: event.R(desc.Item, v),
+			Rule: readRule.ID, Trigger: rr,
+		})
+		s.handleEvent(resp)
+	case event.OpN:
+		n := s.record(&event.Event{Time: now, Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
+		s.handleEvent(n)
+	default:
+		s.reportFailure(cmi.Failure{
+			Kind: cmi.FailLogical, Site: site, When: now,
+			Op: "execute", Err: fmt.Errorf("rule %s: cannot emit %s", r.ID, desc),
+		}, true)
+	}
+}
+
+func (s *Shell) performPrivateWrite(r rule.Rule, desc event.Desc, site string, wr *event.Event) {
+	s.privMu.Lock()
+	s.private.Set(desc.Item, desc.Val)
+	s.privMu.Unlock()
+	writeRule := s.implicitRule("write", site, desc.Item)
+	w := s.record(&event.Event{
+		Time: s.clock.Now(), Site: site,
+		Desc: event.W(desc.Item, desc.Val),
+		Rule: writeRule.ID, Trigger: wr,
+	})
+	s.handleEvent(w)
+}
+
+// translatorWrite performs a write through a translator with echo
+// suppression: if the base is subscribed, the source's own trigger for
+// this write must not be mistaken for a spontaneous update.  It reports
+// whether the write succeeded.
+func (s *Shell) translatorWrite(iface cmi.Interface, desc event.Desc) bool {
+	suppress := s.subscribed[desc.Item.Base]
+	k := pendKey(desc.Item, desc.Val)
+	if suppress {
+		s.pendMu.Lock()
+		s.pending[k]++
+		s.pendMu.Unlock()
+	}
+	if err := iface.Write(desc.Item, desc.Val); err != nil {
+		if suppress {
+			s.pendMu.Lock()
+			if s.pending[k] > 0 {
+				s.pending[k]--
+				if s.pending[k] == 0 {
+					delete(s.pending, k)
+				}
+			}
+			s.pendMu.Unlock()
+		}
+		return false
+	}
+	return true
+}
+
+// env builds the condition-evaluation environment for a site: CM-private
+// items plus the site's database items through its translator.
+func (s *Shell) env(site string, b event.Bindings) rule.Env {
+	return shellEnv{s: s, site: site, params: b}
+}
+
+type shellEnv struct {
+	s      *Shell
+	site   string
+	params event.Bindings
+}
+
+func (e shellEnv) Param(name string) (data.Value, bool) {
+	v, ok := e.params[name]
+	return v, ok
+}
+
+// NowValue implements rule.NowEnv for the now() builtin.
+func (e shellEnv) NowValue() (data.Value, bool) {
+	return vclock.TimeValue(e.s.clock.Now()), true
+}
+
+func (e shellEnv) Item(n data.ItemName) (data.Value, bool, error) {
+	if e.s.spec.Private[n.Base] != "" {
+		e.s.privMu.RLock()
+		defer e.s.privMu.RUnlock()
+		v, ok := e.s.private[n.Key()]
+		return v, ok && !v.IsNull(), nil
+	}
+	iface := e.s.sites[e.site]
+	if iface == nil {
+		e.s.privMu.RLock()
+		defer e.s.privMu.RUnlock()
+		v, ok := e.s.private[n.Key()]
+		return v, ok && !v.IsNull(), nil
+	}
+	return iface.Read(n)
+}
+
+// implicitRule returns (generating on first use) the canonical interface
+// statement rule for provenance of translator-performed actions:
+// if:write:SITE:BASE, if:read:SITE:BASE, if:notify:SITE:BASE.  The time
+// bound is taken from the site's declared interface statements when one
+// matches, else a conservative 1s.
+func (s *Shell) implicitRule(kind, site string, item data.ItemName) rule.Rule {
+	id := "if:" + kind + ":" + site + ":" + item.Base
+	s.implMu.Lock()
+	defer s.implMu.Unlock()
+	if r, ok := s.implicit[id]; ok {
+		return r
+	}
+	// Parameter slots matching the item's arity.
+	args := make([]event.Term, len(item.Args))
+	condArgs := make([]rule.Expr, len(item.Args))
+	for i := range item.Args {
+		p := fmt.Sprintf("k%d", i+1)
+		args[i] = event.Param(p)
+		condArgs[i] = rule.ParamRef{Name: p}
+	}
+	it := event.ItemT(item.Base, args...)
+	delta := s.declaredDelta(kind, site, item.Base)
+	var r rule.Rule
+	switch kind {
+	case "write":
+		r = rule.Rule{ID: id, LHS: event.TWR(it, event.Param("v")), Delta: delta,
+			Steps: []rule.Step{{Eff: event.TW(it, event.Param("v"))}}}
+	case "read":
+		r = rule.Rule{ID: id, LHS: event.TRR(it), Delta: delta,
+			Cond:  rule.Binary{Op: "=", L: rule.ItemRef{Base: item.Base, Args: condArgs}, R: rule.ParamRef{Name: "v"}},
+			Steps: []rule.Step{{Eff: event.TR(it, event.Param("v"))}}}
+	case "notify":
+		r = rule.Rule{ID: id, LHS: event.TWs2(it, event.Param("v")), Delta: delta,
+			Steps: []rule.Step{{Eff: event.TN(it, event.Param("v"))}}}
+	default:
+		panic("shell: unknown implicit rule kind " + kind)
+	}
+	s.implicit[id] = r
+	return r
+}
+
+// declaredDelta finds the time bound a site's CM-RID declared for an
+// interface kind over an item base.
+func (s *Shell) declaredDelta(kind, site, base string) time.Duration {
+	iface := s.sites[site]
+	if iface == nil {
+		return time.Second
+	}
+	for _, st := range iface.Statements() {
+		if len(st.Steps) != 1 {
+			continue
+		}
+		eff := st.Steps[0].Eff
+		match := false
+		switch kind {
+		case "write":
+			match = st.LHS.Op == event.OpWR && eff.Op == event.OpW && st.LHS.Item.Base == base
+		case "read":
+			match = st.LHS.Op == event.OpRR && eff.Op == event.OpR && st.LHS.Item.Base == base
+		case "notify":
+			match = st.LHS.Op == event.OpWs && eff.Op == event.OpN && st.LHS.Item.Base == base
+		}
+		if match {
+			return st.Delta
+		}
+	}
+	return time.Second
+}
+
+// ImplicitRules returns the interface rules generated so far; deployments
+// hand these to the trace checker together with the strategy rules.
+func (s *Shell) ImplicitRules() []rule.Rule {
+	s.implMu.Lock()
+	defer s.implMu.Unlock()
+	out := make([]rule.Rule, 0, len(s.implicit))
+	for _, r := range s.implicit {
+		out = append(out, r)
+	}
+	return out
+}
+
+// ReadAux reads a CM-private data item — the application interface of
+// Section 4.1 ("a simple programmatic interface to allow applications to
+// read auxiliary CM data").
+func (s *Shell) ReadAux(item data.ItemName) (data.Value, bool) {
+	s.privMu.RLock()
+	defer s.privMu.RUnlock()
+	v, ok := s.private[item.Key()]
+	return v, ok && !v.IsNull()
+}
+
+// WriteAux initializes a CM-private data item (setup only; strategies
+// write private data through W effects).
+func (s *Shell) WriteAux(item data.ItemName, v data.Value) {
+	s.privMu.Lock()
+	defer s.privMu.Unlock()
+	s.private.Set(item, v)
+}
+
+// OnFailure registers a failure observer.
+func (s *Shell) OnFailure(fn func(cmi.Failure)) {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	s.failureFns = append(s.failureFns, fn)
+}
+
+// Failures returns the failures observed so far (local and propagated).
+func (s *Shell) Failures() []cmi.Failure {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	return append([]cmi.Failure{}, s.failures...)
+}
+
+// reportFailure records a failure, notifies observers and, when the
+// failure was detected locally, propagates it to all peer shells so they
+// can mark affected guarantees invalid (Section 5).
+func (s *Shell) reportFailure(f cmi.Failure, propagate bool) {
+	s.failMu.Lock()
+	s.failures = append(s.failures, f)
+	fns := append([]func(cmi.Failure){}, s.failureFns...)
+	s.failMu.Unlock()
+	for _, fn := range fns {
+		fn(f)
+	}
+	if !propagate || s.ep == nil {
+		return
+	}
+	peers := map[string]bool{}
+	for _, shellID := range s.routing {
+		if shellID != s.id {
+			peers[shellID] = true
+		}
+	}
+	for peer := range peers {
+		s.ep.Send(peer, transport.Message{
+			Kind:     "failure",
+			FailSite: f.Site,
+			FailKind: f.Kind.String(),
+			FailOp:   f.Op,
+			FailErr:  fmt.Sprint(f.Err),
+		})
+	}
+}
+
+func encodeBindings(b event.Bindings) map[string]string {
+	out := make(map[string]string, len(b))
+	for k, v := range b {
+		out[k] = v.String()
+	}
+	return out
+}
+
+func decodeBindings(m map[string]string) (event.Bindings, error) {
+	out := make(event.Bindings, len(m))
+	for k, s := range m {
+		v, err := data.ParseLiteral(s)
+		if err != nil {
+			return nil, fmt.Errorf("shell: bad binding %s=%q: %w", k, s, err)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// ReportMetricFailure injects a metric failure observation (used by fault
+// injection in tests and the benchmark harness) and propagates it to
+// peers like any translator-detected failure.
+func (s *Shell) ReportMetricFailure(site, op string, err error) {
+	s.reportFailure(cmi.Failure{
+		Kind: cmi.FailMetric, Site: site, When: s.clock.Now(), Op: op, Err: err,
+	}, true)
+}
+
+// ReportLogicalFailure injects a logical failure observation.
+func (s *Shell) ReportLogicalFailure(site, op string, err error) {
+	s.reportFailure(cmi.Failure{
+		Kind: cmi.FailLogical, Site: site, When: s.clock.Now(), Op: op, Err: err,
+	}, true)
+}
+
+// ClearFailures forgets all recorded failures — the local half of the
+// Section 5 "system reset" that restores guarantee validity after a
+// logical failure has been repaired.
+func (s *Shell) ClearFailures() {
+	s.failMu.Lock()
+	s.failures = nil
+	s.failMu.Unlock()
+}

@@ -1,0 +1,273 @@
+package shell
+
+import (
+	"testing"
+	"time"
+
+	"cmtk/internal/cmi"
+	"cmtk/internal/data"
+	"cmtk/internal/rid"
+	"cmtk/internal/ris/relstore"
+	"cmtk/internal/rule"
+	"cmtk/internal/trace"
+	"cmtk/internal/translator"
+	"cmtk/internal/transport"
+	"cmtk/internal/vclock"
+)
+
+// TestDistributedShellsOverTCP runs the payroll propagation across two
+// shells connected by a real TCP mesh on the real clock — the
+// cmd/cmshell deployment shape, exercising binding serialization and
+// trigger-stub reconstruction.
+func TestDistributedShellsOverTCP(t *testing.T) {
+	dbA := relstore.New("branch")
+	mustExec(t, dbA, "CREATE TABLE employees (empid TEXT, salary INT, PRIMARY KEY (empid))")
+	dbB := relstore.New("hq")
+	mustExec(t, dbB, "CREATE TABLE employees (empid TEXT, salary INT, PRIMARY KEY (empid))")
+	cfgA, err := rid.ParseString(ridA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB, err := rid.ParseString(ridB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trA, err := translator.NewRel(cfgA, dbA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trB, err := translator.NewRel(cfgB, dbB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := rule.ParseSpecString(notifyStrategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each shell keeps its own trace, like separate processes would.
+	sa := New("shellA", spec, Options{})
+	sa.AddSite("A", trA)
+	sa.Route("B", "shellB")
+	sb := New("shellB", spec, Options{})
+	sb.AddSite("B", trB)
+	sb.Route("A", "shellA")
+
+	meshB, err := transport.NewTCP("shellB", "127.0.0.1:0", nil, sb.Receive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meshA, err := transport.NewTCP("shellA", "127.0.0.1:0", map[string]string{"shellB": meshB.Addr()}, sa.Receive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa.AttachEndpoint(meshA)
+	sb.AttachEndpoint(meshB)
+	if err := sa.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Stop()
+	defer sb.Stop()
+
+	mustExec(t, dbA, "INSERT INTO employees VALUES ('e7', 321)")
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		res, _ := dbB.Exec("SELECT salary FROM employees WHERE empid = 'e7'")
+		if len(res.Rows) == 1 && res.Rows[0][0].Equal(data.NewInt(321)) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("update never reached B over TCP")
+}
+
+func TestReceiveUnknownRuleRecordsFailure(t *testing.T) {
+	spec, _ := rule.ParseSpecString("site S\nprivate X @ S\n")
+	s := New("s", spec, Options{Clock: vclock.NewVirtual(vclock.Epoch)})
+	s.AddSite("S", nil)
+	s.Receive(transport.Message{Kind: "fire", Rule: "ghost", From: "peer"})
+	fs := s.Failures()
+	if len(fs) != 1 || fs[0].Kind != cmi.FailLogical {
+		t.Fatalf("failures = %v", fs)
+	}
+	// Bad bindings are rejected too.
+	spec2, _ := rule.ParseSpecString("site S\nprivate X @ S\nrule r: Ws(X, b) ->1s W(X, b)\n")
+	s2 := New("s", spec2, Options{Clock: vclock.NewVirtual(vclock.Epoch)})
+	s2.AddSite("S", nil)
+	s2.Receive(transport.Message{Kind: "fire", Rule: "r", Bindings: map[string]string{"b": "not a literal"}})
+	if len(s2.Failures()) != 1 {
+		t.Fatalf("failures = %v", s2.Failures())
+	}
+}
+
+func TestReceiveFireWithStubTrigger(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	spec, _ := rule.ParseSpecString("site S\nprivate X @ S\nrule r: N(X, b) ->1s W(X, b)\n")
+	s := New("s", spec, Options{Clock: clk})
+	s.AddSite("S", nil)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	// A fire message arriving from a remote peer carries only the trigger
+	// reference, not the event object.
+	s.Receive(transport.Message{
+		Kind:     "fire",
+		Rule:     "r",
+		Bindings: map[string]string{"b": "42"},
+		Trigger:  transport.EventRef{Site: "S", Seq: 9, Time: clk.Now(), Desc: "N(X, 42)"},
+	})
+	clk.Advance(time.Second)
+	v, ok := s.ReadAux(data.Item("X"))
+	if !ok || !v.Equal(data.NewInt(42)) {
+		t.Fatalf("X = %s, %v", v, ok)
+	}
+}
+
+func TestDispatchWithoutRouteReportsFailure(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	spec, _ := rule.ParseSpecString(`
+site S
+site R
+private X @ S
+private Y @ R
+rule r: Ws(X, b) ->1s W(Y, b)
+`)
+	s := New("s", spec, Options{Clock: clk})
+	s.AddSite("S", nil)
+	// Site R is routed nowhere and there is no transport.
+	s.Route("R", "remote")
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	s.Spontaneous(data.Item("X"), data.NullValue, data.NewInt(1))
+	clk.Advance(time.Second)
+	fs := s.Failures()
+	if len(fs) == 0 {
+		t.Fatal("no failure for missing transport")
+	}
+}
+
+func TestRequestWriteOnPrivateAndTranslatorSites(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	db := relstore.New("d")
+	mustExec(t, db, "CREATE TABLE employees (empid TEXT, salary INT, PRIMARY KEY (empid))")
+	cfg, _ := rid.ParseString(ridB)
+	tr, err := translator.NewRel(cfg, db, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := rule.ParseSpecString("site B\nitem salary2 @ B\nprivate P @ B\n")
+	s := New("s", spec, Options{Clock: clk})
+	s.AddSite("B", tr)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	// Translator-backed write.
+	s.RequestWrite(data.Item("salary2", data.NewString("e1")), data.NewInt(7))
+	clk.Advance(time.Second)
+	res, _ := db.Exec("SELECT salary FROM employees WHERE empid = 'e1'")
+	if len(res.Rows) != 1 || !res.Rows[0][0].Equal(data.NewInt(7)) {
+		t.Fatalf("db rows = %v", res.Rows)
+	}
+	// Private write.
+	s.RequestWrite(data.Item("P"), data.NewInt(3))
+	clk.Advance(time.Second)
+	if v, ok := s.ReadAux(data.Item("P")); !ok || !v.Equal(data.NewInt(3)) {
+		t.Fatalf("P = %s, %v", v, ok)
+	}
+	// The trace stays valid: RequestWrite WRs are spontaneous, the Ws
+	// follow the implicit write rule.
+	rules := append(spec.Rules, s.ImplicitRules()...)
+	if vs := traceCheck(s, rules); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+func traceCheck(s *Shell, rules []rule.Rule) []trace.Violation {
+	return trace.NewChecker(rules).Check(s.Trace())
+}
+
+func TestCustomMessageKinds(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	spec, _ := rule.ParseSpecString("site S\nprivate X @ S\n")
+	bus := transport.NewBus(clk, 50*time.Millisecond)
+	a := New("a", spec, Options{Clock: clk})
+	a.AddSite("S", nil)
+	b := New("b", spec, Options{Clock: clk})
+	if err := a.Attach(bus); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Attach(bus); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	b.HandleKind("ping", func(m transport.Message) { got = append(got, m.Payload["x"]) })
+	if err := a.SendCustom("b", transport.Message{Kind: "ping", Payload: map[string]string{"x": "1"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Unregistered kinds are dropped silently.
+	a.SendCustom("b", transport.Message{Kind: "unknown"})
+	clk.Advance(time.Second)
+	if len(got) != 1 || got[0] != "1" {
+		t.Fatalf("got = %v", got)
+	}
+	// SendCustom without a transport errors.
+	c := New("c", spec, Options{Clock: clk})
+	if err := c.SendCustom("b", transport.Message{Kind: "ping"}); err == nil {
+		t.Fatal("send without transport succeeded")
+	}
+}
+
+func TestRuleSitePlacementErrors(t *testing.T) {
+	// A rule whose LHS item has no site fails Start.
+	spec := rule.NewSpec()
+	spec.Sites = []string{"S"}
+	spec.Private["X"] = "S"
+	r, err := rule.ParseRule("r: N(Y, b) ->1s W(X, b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Rules = append(spec.Rules, r)
+	s := New("s", spec, Options{Clock: vclock.NewVirtual(vclock.Epoch)})
+	s.AddSite("S", nil)
+	if err := s.Start(); err == nil {
+		t.Fatal("Start accepted a rule with an unplaced LHS")
+	}
+}
+
+func TestSubscribeFailureSurfacesAtStart(t *testing.T) {
+	// A strategy that listens on a base whose translator cannot notify
+	// (no watch binding) must fail Start with a clear error.
+	clk := vclock.NewVirtual(vclock.Epoch)
+	db := relstore.New("d")
+	mustExec(t, db, "CREATE TABLE employees (empid TEXT, salary INT, PRIMARY KEY (empid))")
+	cfg, err := rid.ParseString(`
+kind relstore
+site A
+item salary1
+  type int
+  read SELECT salary FROM employees WHERE empid = $n
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := translator.NewRel(cfg, db, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := rule.ParseSpecString(`
+site A
+item salary1 @ A
+rule r: N(salary1(n), b) ->1s WR(salary1(n), b)
+`)
+	s := New("s", spec, Options{Clock: clk})
+	s.AddSite("A", tr)
+	if err := s.Start(); err == nil {
+		t.Fatal("Start succeeded without a notify binding")
+	}
+}

@@ -1,0 +1,519 @@
+package shell
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cmtk/internal/cmi"
+	"cmtk/internal/data"
+	"cmtk/internal/guarantee"
+	"cmtk/internal/rid"
+	"cmtk/internal/ris/relstore"
+	"cmtk/internal/rule"
+	"cmtk/internal/trace"
+	"cmtk/internal/translator"
+	"cmtk/internal/transport"
+	"cmtk/internal/vclock"
+)
+
+const ridA = `
+kind relstore
+site A
+item salary1
+  type int
+  read   SELECT salary FROM employees WHERE empid = $n
+  list   SELECT empid FROM employees
+  watch  employees
+  keycol empid
+  valcol salary
+interface Ws(salary1(n), b) ->2s N(salary1(n), b)
+interface RR(salary1(n)) && salary1(n) = b ->1s R(salary1(n), b)
+`
+
+const ridB = `
+kind relstore
+site B
+item salary2
+  type int
+  read   SELECT salary FROM employees WHERE empid = $n
+  write  UPDATE employees SET salary = $b WHERE empid = $n
+  insert INSERT INTO employees (empid, salary) VALUES ($n, $b)
+  delete DELETE FROM employees WHERE empid = $n
+  list   SELECT empid FROM employees
+  watch  employees
+  keycol empid
+  valcol salary
+interface WR(salary2(n), b) ->3s W(salary2(n), b)
+`
+
+// payroll assembles the Section 4.2 scenario: database A (notify
+// interface) and database B (write interface) on two shells linked by an
+// in-process bus, driven by a virtual clock, recording to a shared trace.
+type payroll struct {
+	clk    *vclock.Virtual
+	tr     *trace.Trace
+	dbA    *relstore.DB
+	dbB    *relstore.DB
+	shellA *Shell
+	shellB *Shell
+	spec   *rule.Spec
+}
+
+func newPayroll(t *testing.T, strategy string) *payroll {
+	t.Helper()
+	clk := vclock.NewVirtual(vclock.Epoch)
+	tr := trace.New(nil)
+
+	dbA := relstore.New("branch")
+	mustExec(t, dbA, "CREATE TABLE employees (empid TEXT, salary INT, PRIMARY KEY (empid))")
+	dbB := relstore.New("hq")
+	mustExec(t, dbB, "CREATE TABLE employees (empid TEXT, salary INT, PRIMARY KEY (empid))")
+
+	cfgA, err := rid.ParseString(ridA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB, err := rid.ParseString(ridB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trA, err := translator.NewRel(cfgA, dbA, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trB, err := translator.NewRel(cfgB, dbB, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec, err := rule.ParseSpecString(strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := transport.NewBus(clk, 200*time.Millisecond)
+	opts := Options{Clock: clk, Trace: tr, FireDelay: 100 * time.Millisecond}
+
+	sa := New("shellA", spec, opts)
+	sa.AddSite("A", trA)
+	sa.Route("B", "shellB")
+	sb := New("shellB", spec, opts)
+	sb.AddSite("B", trB)
+	sb.Route("A", "shellA")
+	if err := sa.Attach(bus); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Attach(bus); err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sa.Stop(); sb.Stop() })
+	return &payroll{clk: clk, tr: tr, dbA: dbA, dbB: dbB, shellA: sa, shellB: sb, spec: spec}
+}
+
+func mustExec(t *testing.T, db *relstore.DB, sql string) {
+	t.Helper()
+	if _, err := db.Exec(sql); err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+}
+
+// allRules collects strategy plus generated interface rules for checking.
+func (p *payroll) allRules() []rule.Rule {
+	rules := append([]rule.Rule{}, p.spec.Rules...)
+	rules = append(rules, p.shellA.ImplicitRules()...)
+	rules = append(rules, p.shellB.ImplicitRules()...)
+	return rules
+}
+
+func (p *payroll) checkTrace(t *testing.T) {
+	t.Helper()
+	vs := trace.NewChecker(p.allRules()).Check(p.tr)
+	if len(vs) != 0 {
+		t.Fatalf("trace violations:\n%v\ntrace:\n%s", vs, p.tr)
+	}
+}
+
+func (p *payroll) salaryAt(t *testing.T, db *relstore.DB, emp string) (int64, bool) {
+	t.Helper()
+	res, err := db.Exec("SELECT salary FROM employees WHERE empid = '" + emp + "'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		return 0, false
+	}
+	return res.Rows[0][0].Int(), true
+}
+
+const notifyStrategy = `
+site A
+site B
+item salary1 @ A
+item salary2 @ B
+rule prop: N(salary1(n), b) ->5s WR(salary2(n), b)
+`
+
+func TestNotifyPropagationEndToEnd(t *testing.T) {
+	p := newPayroll(t, notifyStrategy)
+	// A local application updates the branch database.
+	mustExec(t, p.dbA, "INSERT INTO employees VALUES ('e1', 100)")
+	p.clk.Advance(2 * time.Second)
+	if got, ok := p.salaryAt(t, p.dbB, "e1"); !ok || got != 100 {
+		t.Fatalf("B salary = %d, %v", got, ok)
+	}
+	mustExec(t, p.dbA, "UPDATE employees SET salary = 150 WHERE empid = 'e1'")
+	p.clk.Advance(2 * time.Second)
+	if got, _ := p.salaryAt(t, p.dbB, "e1"); got != 150 {
+		t.Fatalf("B salary = %d", got)
+	}
+	p.checkTrace(t)
+	// Guarantees (1), (2), (3) and metric (4) all hold (Section 4.2.3).
+	reports := guarantee.CheckAll(p.tr,
+		guarantee.Follows{X: "salary1", Y: "salary2"},
+		guarantee.Leads{X: "salary1", Y: "salary2", Settle: 10 * time.Second},
+		guarantee.StrictlyFollows{X: "salary1", Y: "salary2"},
+		guarantee.MetricFollows{X: "salary1", Y: "salary2", Kappa: 5 * time.Second},
+		guarantee.MetricLeads{X: "salary1", Y: "salary2", Kappa: 5 * time.Second},
+	)
+	for _, r := range reports {
+		if !r.Holds {
+			t.Errorf("%s: %v", r.Guarantee, r.Violations)
+		}
+	}
+}
+
+func TestNotifyPropagationManyKeysOrdered(t *testing.T) {
+	p := newPayroll(t, notifyStrategy)
+	mustExec(t, p.dbA, "INSERT INTO employees VALUES ('e1', 1)")
+	mustExec(t, p.dbA, "INSERT INTO employees VALUES ('e2', 2)")
+	for i := 0; i < 20; i++ {
+		mustExec(t, p.dbA, "UPDATE employees SET salary = "+data.NewInt(int64(10+i)).String()+" WHERE empid = 'e1'")
+		p.clk.Advance(500 * time.Millisecond)
+	}
+	p.clk.Advance(10 * time.Second)
+	if got, _ := p.salaryAt(t, p.dbB, "e1"); got != 29 {
+		t.Fatalf("B e1 salary = %d", got)
+	}
+	if got, _ := p.salaryAt(t, p.dbB, "e2"); got != 2 {
+		t.Fatalf("B e2 salary = %d", got)
+	}
+	p.checkTrace(t)
+	rep := guarantee.StrictlyFollows{X: "salary1", Y: "salary2"}.Check(p.tr)
+	if !rep.Holds {
+		t.Fatalf("strict order: %v", rep.Violations)
+	}
+}
+
+const pollingStrategy = `
+site A
+site B
+item salary1 @ A
+item salary2 @ B
+rule poll: P(60) ->1s RR(salary1("e1"))
+rule fwd: R(salary1(n), b) ->1s WR(salary2(n), b)
+`
+
+func TestPollingMissesUpdatesButKeepsOrder(t *testing.T) {
+	p := newPayroll(t, pollingStrategy)
+	// With a read-only interface the CM cannot observe writes, so the
+	// driver records the spontaneous-write events itself: the trace models
+	// the whole system's state, not just what the CM saw (Appendix A.1).
+	appWrite := func(sql string, old, new data.Value) {
+		mustExec(t, p.dbA, sql)
+		p.shellA.Spontaneous(data.Item("salary1", data.NewString("e1")), old, new)
+	}
+	appWrite("INSERT INTO employees VALUES ('e1', 1)", data.NullValue, data.NewInt(1))
+	p.clk.Advance(65 * time.Second) // first poll picks up 1
+	// Two updates inside one polling interval: the middle value is lost.
+	appWrite("UPDATE employees SET salary = 2 WHERE empid = 'e1'", data.NewInt(1), data.NewInt(2))
+	p.clk.Advance(time.Second)
+	appWrite("UPDATE employees SET salary = 3 WHERE empid = 'e1'", data.NewInt(2), data.NewInt(3))
+	p.clk.Advance(120 * time.Second)
+	if got, _ := p.salaryAt(t, p.dbB, "e1"); got != 3 {
+		t.Fatalf("B salary = %d", got)
+	}
+	p.checkTrace(t)
+	// Section 4.2.3: (1), (3), (4) hold; (2) does not.
+	follows := guarantee.Follows{X: "salary1", Y: "salary2"}.Check(p.tr)
+	if !follows.Holds {
+		t.Fatalf("follows: %v", follows.Violations)
+	}
+	strict := guarantee.StrictlyFollows{X: "salary1", Y: "salary2"}.Check(p.tr)
+	if !strict.Holds {
+		t.Fatalf("strictly-follows: %v", strict.Violations)
+	}
+	leads := guarantee.Leads{X: "salary1", Y: "salary2", Settle: 70 * time.Second}.Check(p.tr)
+	if leads.Holds {
+		t.Fatal("leads held despite missed update")
+	}
+}
+
+const cachedStrategy = `
+site A
+site B
+item salary1 @ A
+item salary2 @ B
+private C @ B
+rule fwd: N(salary1(n), b) ->5s (C(n) != b)? WR(salary2(n), b), W(C(n), b)
+`
+
+func TestCachedPropagationSuppressesDuplicates(t *testing.T) {
+	p := newPayroll(t, cachedStrategy)
+	mustExec(t, p.dbA, "INSERT INTO employees VALUES ('e1', 100)")
+	p.clk.Advance(2 * time.Second)
+	if got, ok := p.salaryAt(t, p.dbB, "e1"); !ok || got != 100 {
+		t.Fatalf("B salary = %d, %v", got, ok)
+	}
+	// A chatty source re-notifies the same value (fn. 3 of the paper: the
+	// cache lets the CM propagate only when the value actually changed).
+	wrTpl, _ := rule.ParseTemplate(`WR(salary2("e1"), 100)`)
+	before := len(p.tr.Matching(wrTpl))
+	p.shellA.onSourceChange("A", data.Item("salary1", data.NewString("e1")), data.NewInt(100), data.NewInt(100))
+	p.clk.Advance(10 * time.Second)
+	after := len(p.tr.Matching(wrTpl))
+	if after != before {
+		t.Fatalf("duplicate value reached B: %d -> %d write requests", before, after)
+	}
+	// A genuinely new value still propagates.
+	mustExec(t, p.dbA, "UPDATE employees SET salary = 120 WHERE empid = 'e1'")
+	p.clk.Advance(10 * time.Second)
+	if got, _ := p.salaryAt(t, p.dbB, "e1"); got != 120 {
+		t.Fatalf("B salary = %d", got)
+	}
+	p.checkTrace(t)
+}
+
+func TestPrivateDataAndReadAux(t *testing.T) {
+	p := newPayroll(t, cachedStrategy)
+	mustExec(t, p.dbA, "INSERT INTO employees VALUES ('e1', 42)")
+	p.clk.Advance(2 * time.Second)
+	v, ok := p.shellB.ReadAux(data.Item("C", data.NewString("e1")))
+	if !ok || !v.Equal(data.NewInt(42)) {
+		t.Fatalf("ReadAux = %s, %v", v, ok)
+	}
+	// WriteAux seeds private data.
+	p.shellB.WriteAux(data.Item("Flag"), data.NewBool(true))
+	if v, ok := p.shellB.ReadAux(data.Item("Flag")); !ok || !v.Truthy() {
+		t.Fatalf("Flag = %s, %v", v, ok)
+	}
+}
+
+func TestFailurePropagation(t *testing.T) {
+	p := newPayroll(t, notifyStrategy)
+	var seenB []cmi.Failure
+	p.shellB.OnFailure(func(f cmi.Failure) { seenB = append(seenB, f) })
+	// A failure detected at shell A must reach shell B.
+	p.shellA.reportFailure(cmi.Failure{
+		Kind: cmi.FailMetric, Site: "A", When: p.clk.Now(),
+		Op: "notify", Err: errors.New("simulated overload"),
+	}, true)
+	p.clk.Advance(time.Second)
+	if len(seenB) != 1 || seenB[0].Kind != cmi.FailMetric || seenB[0].Site != "A" {
+		t.Fatalf("propagated failures = %v", seenB)
+	}
+	if got := p.shellB.Failures(); len(got) != 1 {
+		t.Fatalf("Failures() = %v", got)
+	}
+}
+
+func TestDeleteFlowsThroughCopyConstraint(t *testing.T) {
+	p := newPayroll(t, notifyStrategy)
+	mustExec(t, p.dbA, "INSERT INTO employees VALUES ('e1', 100)")
+	p.clk.Advance(2 * time.Second)
+	mustExec(t, p.dbA, "DELETE FROM employees WHERE empid = 'e1'")
+	p.clk.Advance(2 * time.Second)
+	if _, ok := p.salaryAt(t, p.dbB, "e1"); ok {
+		t.Fatal("row survived at B after delete at A")
+	}
+	p.checkTrace(t)
+}
+
+func TestShellDoubleStartAndStop(t *testing.T) {
+	p := newPayroll(t, notifyStrategy)
+	if err := p.shellA.Start(); err == nil {
+		t.Fatal("double Start succeeded")
+	}
+	p.shellA.Stop()
+	// Stopping cancels subscriptions: further spontaneous writes at A do
+	// not propagate.
+	mustExec(t, p.dbA, "INSERT INTO employees VALUES ('e9', 9)")
+	p.clk.Advance(5 * time.Second)
+	if _, ok := p.salaryAt(t, p.dbB, "e9"); ok {
+		t.Fatal("propagation after Stop")
+	}
+}
+
+func TestSpontaneousOnPrivateItems(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	tr := trace.New(nil)
+	spec, err := rule.ParseSpecString(`
+site S
+private X @ S
+private Y @ S
+rule copy: Ws(X, b) ->1s W(Y, b)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New("s", spec, Options{Clock: clk, Trace: tr})
+	s.AddSite("S", nil)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	s.Spontaneous(data.Item("X"), data.NullValue, data.NewInt(5))
+	clk.Advance(time.Second)
+	v, ok := s.ReadAux(data.Item("Y"))
+	if !ok || !v.Equal(data.NewInt(5)) {
+		t.Fatalf("Y = %s, %v", v, ok)
+	}
+	rules := append(spec.Rules, s.ImplicitRules()...)
+	if vs := trace.NewChecker(rules).Check(tr); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+func TestMetricObligationViolatedBySlowLink(t *testing.T) {
+	// With 4s of engine+link delay against a 5s rule bound the deadline
+	// holds; stretch the link to 10s and the trace checker must flag a
+	// metric violation (the paper's metric failure, Section 5).
+	clk := vclock.NewVirtual(vclock.Epoch)
+	tr := trace.New(nil)
+	dbA := relstore.New("a")
+	mustExec(t, dbA, "CREATE TABLE employees (empid TEXT, salary INT, PRIMARY KEY (empid))")
+	dbB := relstore.New("b")
+	mustExec(t, dbB, "CREATE TABLE employees (empid TEXT, salary INT, PRIMARY KEY (empid))")
+	cfgA, _ := rid.ParseString(ridA)
+	cfgB, _ := rid.ParseString(ridB)
+	trA, _ := translator.NewRel(cfgA, dbA, clk)
+	trB, _ := translator.NewRel(cfgB, dbB, clk)
+	spec, _ := rule.ParseSpecString(notifyStrategy)
+	bus := transport.NewBus(clk, 10*time.Second) // pathological link
+	opts := Options{Clock: clk, Trace: tr}
+	sa := New("shellA", spec, opts)
+	sa.AddSite("A", trA)
+	sa.Route("B", "shellB")
+	sb := New("shellB", spec, opts)
+	sb.AddSite("B", trB)
+	sb.Route("A", "shellA")
+	sa.Attach(bus)
+	sb.Attach(bus)
+	sa.Start()
+	sb.Start()
+	defer sa.Stop()
+	defer sb.Stop()
+
+	mustExec(t, dbA, "INSERT INTO employees VALUES ('e1', 1)")
+	clk.Advance(30 * time.Second)
+	rules := append(spec.Rules, sa.ImplicitRules()...)
+	rules = append(rules, sb.ImplicitRules()...)
+	vs := trace.NewChecker(rules).Check(tr)
+	metric := 0
+	for _, v := range vs {
+		if v.Metric {
+			metric++
+		} else {
+			t.Fatalf("unexpected logical violation: %v", v)
+		}
+	}
+	if metric == 0 {
+		t.Fatalf("no metric violation on a 10s link against a 5s bound; trace:\n%s", tr)
+	}
+}
+
+const periodicNotifyStrategy = `
+site A
+site B
+item salary1 @ A
+item salary2 @ B
+rule pn: P(60) && salary1("e1") = b ->1s N(salary1("e1"), b)
+rule prop: N(salary1(n), b) ->5s WR(salary2(n), b)
+`
+
+func TestPeriodicNotifyInterfaceAsRules(t *testing.T) {
+	// Section 3.1.1's Periodic Notify Interface expressed directly in the
+	// rule language: every 60s the current value of salary1("e1") is
+	// turned into a notification, which the propagation rule then ships.
+	p := newPayroll(t, periodicNotifyStrategy)
+	// The prop rule's N(...) LHS activates the notify subscription, so
+	// application SQL writes are observed directly; the periodic rule
+	// re-notifies the current value every minute on top of that.
+	mustExec(t, p.dbA, "INSERT INTO employees VALUES ('e1', 100)")
+	p.clk.Advance(65 * time.Second)
+	if got, ok := p.salaryAt(t, p.dbB, "e1"); !ok || got != 100 {
+		t.Fatalf("B salary = %d, %v", got, ok)
+	}
+	mustExec(t, p.dbA, "UPDATE employees SET salary = 130 WHERE empid = 'e1'")
+	p.clk.Advance(70 * time.Second)
+	if got, _ := p.salaryAt(t, p.dbB, "e1"); got != 130 {
+		t.Fatalf("B salary = %d", got)
+	}
+	p.checkTrace(t)
+	// Like polling, periodic notify preserves order but can lose
+	// intermediate values; follows must hold.
+	rep := guarantee.Follows{X: "salary1", Y: "salary2"}.Check(p.tr)
+	if !rep.Holds {
+		t.Fatalf("follows: %v", rep.Violations)
+	}
+}
+
+// Property: randomized end-to-end runs (mixed inserts, updates, deletes
+// across many keys and seeds) always yield valid executions, hold the
+// propagation guarantees, and converge the replica to the primary.
+func TestRandomSimulationsAlwaysValid(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		p := newPayroll(t, notifyStrategy)
+		rng := rand.New(rand.NewSource(seed))
+		keys := []string{"e1", "e2", "e3", "e4"}
+		live := map[string]int64{}
+		for op := 0; op < 120; op++ {
+			k := keys[rng.Intn(len(keys))]
+			switch {
+			case live[k] == 0: // insert
+				v := int64(rng.Intn(1000) + 1)
+				mustExec(t, p.dbA, "INSERT INTO employees VALUES ('"+k+"', "+data.NewInt(v).String()+")")
+				live[k] = v
+			case rng.Intn(5) == 0: // delete
+				mustExec(t, p.dbA, "DELETE FROM employees WHERE empid = '"+k+"'")
+				live[k] = 0
+			default: // update
+				v := int64(rng.Intn(1000) + 1)
+				mustExec(t, p.dbA, "UPDATE employees SET salary = "+data.NewInt(v).String()+" WHERE empid = '"+k+"'")
+				live[k] = v
+			}
+			p.clk.Advance(time.Duration(rng.Intn(2000)) * time.Millisecond)
+		}
+		p.clk.Advance(time.Minute)
+		// Convergence: B mirrors A exactly.
+		for _, k := range keys {
+			got, ok := p.salaryAt(t, p.dbB, k)
+			if live[k] == 0 {
+				if ok {
+					t.Fatalf("seed %d: %s survived at B after delete", seed, k)
+				}
+			} else if !ok || got != live[k] {
+				t.Fatalf("seed %d: B[%s] = %d,%v want %d", seed, k, got, ok, live[k])
+			}
+		}
+		p.checkTrace(t)
+		reports := guarantee.CheckAll(p.tr,
+			guarantee.Follows{X: "salary1", Y: "salary2"},
+			guarantee.StrictlyFollows{X: "salary1", Y: "salary2"},
+			guarantee.Leads{X: "salary1", Y: "salary2", Settle: 10 * time.Second},
+		)
+		for _, r := range reports {
+			if !r.Holds {
+				t.Fatalf("seed %d: %s: %v", seed, r.Guarantee, r.Violations)
+			}
+		}
+		p.shellA.Stop()
+		p.shellB.Stop()
+	}
+}

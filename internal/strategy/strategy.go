@@ -1,0 +1,315 @@
+// Package strategy provides the toolkit's library of proven constraint
+// management strategies (Section 4.1: "a library of common interfaces and
+// strategies ... selected from available menus of proven strategies"),
+// and the suggestion engine that matches strategies to the interfaces the
+// sites actually offer ("The CM then suggests strategies that are
+// applicable to these interfaces, along with the associated guarantees").
+//
+// Rule-expressible strategies (update propagation, cached propagation,
+// polling, monitoring) are generated as rule sets to merge into a
+// strategy specification.  Strategies that need iteration over dynamic
+// key sets (the Section 6.2 referential sweep, the Section 6.4 end-of-day
+// batch) are provided as programmatic components driving a CM-Shell.
+package strategy
+
+import (
+	"fmt"
+	"time"
+
+	"cmtk/internal/data"
+	"cmtk/internal/event"
+	"cmtk/internal/guarantee"
+	"cmtk/internal/ris"
+	"cmtk/internal/rule"
+)
+
+// Choice is one applicable strategy: the rules and private items to merge
+// into the deployment's strategy specification, and the guarantees the
+// paper proves for it (which the toolkit re-checks on recorded traces).
+type Choice struct {
+	Name        string
+	Description string
+	Rules       []rule.Rule
+	Private     map[string]string // private item base -> hosting site
+	Guarantees  []guarantee.Guarantee
+	// Kappa is the end-to-end metric bound the strategy achieves, used in
+	// the metric guarantees above.
+	Kappa time.Duration
+}
+
+// Copy describes a copy constraint X = Y between item families: every
+// item X(n) at X's site must equal Y(n) at Y's site, with X primary.
+type Copy struct {
+	X, Y string
+	// Arity is the number of key arguments of the families (0 for single
+	// items, 1 for salary1(n)-style families).
+	Arity int
+}
+
+// params returns fresh parameter terms n1..nk for the copy's arity.
+func (c Copy) params() []event.Term {
+	out := make([]event.Term, c.Arity)
+	for i := range out {
+		out[i] = event.Param(fmt.Sprintf("n%d", i+1))
+	}
+	return out
+}
+
+// Options tunes strategy generation.
+type Options struct {
+	// Delta is the per-rule reaction bound; zero defaults to 5s.
+	Delta time.Duration
+	// PollPeriod is the polling interval for read-interface strategies;
+	// zero defaults to 60s.
+	PollPeriod time.Duration
+	// PollKeys are the key values to poll (polling cannot discover keys by
+	// itself; the deployment lists them at configuration time).  Ignored
+	// for arity-0 constraints.
+	PollKeys []data.Value
+	// Bound is the end-to-end propagation bound used in metric guarantees;
+	// zero derives 3×Delta (notify + engine + write hops).
+	Bound time.Duration
+}
+
+func (o Options) delta() time.Duration {
+	if o.Delta > 0 {
+		return o.Delta
+	}
+	return 5 * time.Second
+}
+
+func (o Options) pollPeriod() time.Duration {
+	if o.PollPeriod > 0 {
+		return o.PollPeriod
+	}
+	return 60 * time.Second
+}
+
+func (o Options) bound() time.Duration {
+	if o.Bound > 0 {
+		return o.Bound
+	}
+	return 3 * o.delta()
+}
+
+// NotifyPropagation is the Section 4.2 strategy: forward every
+// notification from X as a write request on Y.
+//
+//	N(X(n), b) →δ WR(Y(n), b)
+//
+// Requires a notify interface on X and a write interface on Y.  All of
+// guarantees (1)–(4) hold (Section 4.2.3).
+func NotifyPropagation(c Copy, o Options) Choice {
+	ps := c.params()
+	r := rule.Rule{
+		ID:    fmt.Sprintf("prop:%s:%s", c.X, c.Y),
+		LHS:   event.TN(event.ItemT(c.X, ps...), event.Param("b")),
+		Delta: o.delta(),
+		Steps: []rule.Step{{Eff: event.TWR(event.ItemT(c.Y, ps...), event.Param("b"))}},
+	}
+	k := o.bound()
+	return Choice{
+		Name:        "notify-propagation",
+		Description: fmt.Sprintf("forward notifications from %s as write requests on %s", c.X, c.Y),
+		Rules:       []rule.Rule{r},
+		Guarantees: []guarantee.Guarantee{
+			guarantee.Follows{X: c.X, Y: c.Y},
+			guarantee.Leads{X: c.X, Y: c.Y, Settle: k},
+			guarantee.StrictlyFollows{X: c.X, Y: c.Y},
+			guarantee.MetricFollows{X: c.X, Y: c.Y, Kappa: k},
+			guarantee.MetricLeads{X: c.X, Y: c.Y, Kappa: k},
+		},
+		Kappa: k,
+	}
+}
+
+// CachedPropagation refines NotifyPropagation with a CM-private cache at
+// Y's site so duplicate values are not re-written (footnote 3):
+//
+//	N(X(n), b) →δ (C(n) ≠ b)? WR(Y(n), b), W(C(n), b)
+//
+// The guarantees are those of NotifyPropagation; the gain is message and
+// write traffic.
+func CachedPropagation(c Copy, ySite string, o Options) Choice {
+	ps := c.params()
+	cache := "cache_" + c.Y
+	guard := rule.Binary{Op: "!=",
+		L: cacheRef(cache, c.Arity),
+		R: rule.ParamRef{Name: "b"},
+	}
+	r := rule.Rule{
+		ID:    fmt.Sprintf("cprop:%s:%s", c.X, c.Y),
+		LHS:   event.TN(event.ItemT(c.X, ps...), event.Param("b")),
+		Delta: o.delta(),
+		Steps: []rule.Step{
+			{Cond: guard, Eff: event.TWR(event.ItemT(c.Y, ps...), event.Param("b"))},
+			{Eff: event.TW(event.ItemT(cache, ps...), event.Param("b"))},
+		},
+	}
+	base := NotifyPropagation(c, o)
+	return Choice{
+		Name:        "cached-propagation",
+		Description: fmt.Sprintf("forward notifications from %s to %s, suppressing unchanged values via a CM cache", c.X, c.Y),
+		Rules:       []rule.Rule{r},
+		Private:     map[string]string{cache: ySite},
+		Guarantees:  base.Guarantees,
+		Kappa:       base.Kappa,
+	}
+}
+
+func cacheRef(base string, arity int) rule.Expr {
+	args := make([]rule.Expr, arity)
+	for i := range args {
+		args[i] = rule.ParamRef{Name: fmt.Sprintf("n%d", i+1)}
+	}
+	return rule.ItemRef{Base: base, Args: args}
+}
+
+// Polling is the Section 4.2.3 fallback when X offers only a read
+// interface:
+//
+//	P(p) →ε RR(X(k))      for each polled key k
+//	R(X(n), b) →ε WR(Y(n), b)
+//
+// Guarantees (1), (3) and metric (4) hold; guarantee (2) does not — two
+// updates inside one polling interval lose the earlier value.
+func Polling(c Copy, o Options) (Choice, error) {
+	eps := time.Second
+	if o.Delta > 0 && o.Delta < eps {
+		eps = o.Delta
+	}
+	var rules []rule.Rule
+	if c.Arity == 0 {
+		rules = append(rules, rule.Rule{
+			ID:    fmt.Sprintf("poll:%s", c.X),
+			LHS:   event.TP(o.pollPeriod()),
+			Delta: eps,
+			Steps: []rule.Step{{Eff: event.TRR(event.ItemT(c.X))}},
+		})
+	} else {
+		if len(o.PollKeys) == 0 {
+			return Choice{}, fmt.Errorf("strategy: polling a keyed family %s requires PollKeys", c.X)
+		}
+		if c.Arity != 1 {
+			return Choice{}, fmt.Errorf("strategy: polling supports arity 0 or 1, got %d", c.Arity)
+		}
+		for i, k := range o.PollKeys {
+			rules = append(rules, rule.Rule{
+				ID:    fmt.Sprintf("poll:%s:%d", c.X, i),
+				LHS:   event.TP(o.pollPeriod()),
+				Delta: eps,
+				Steps: []rule.Step{{Eff: event.TRR(event.ItemT(c.X, event.Lit(k)))}},
+			})
+		}
+	}
+	ps := c.params()
+	rules = append(rules, rule.Rule{
+		ID:    fmt.Sprintf("fwd:%s:%s", c.X, c.Y),
+		LHS:   event.TR(event.ItemT(c.X, ps...), event.Param("b")),
+		Delta: eps,
+		Steps: []rule.Step{{Eff: event.TWR(event.ItemT(c.Y, ps...), event.Param("b"))}},
+	})
+	k := o.pollPeriod() + o.bound()
+	return Choice{
+		Name:        "polling",
+		Description: fmt.Sprintf("poll %s every %s and forward values to %s", c.X, o.pollPeriod(), c.Y),
+		Rules:       rules,
+		Guarantees: []guarantee.Guarantee{
+			guarantee.Follows{X: c.X, Y: c.Y},
+			guarantee.StrictlyFollows{X: c.X, Y: c.Y},
+			guarantee.MetricFollows{X: c.X, Y: c.Y, Kappa: k},
+			// Note: Leads (guarantee 2) is deliberately absent.
+		},
+		Kappa: k,
+	}, nil
+}
+
+// Monitor is the Section 6.3 strategy for when the CM can update neither
+// side of X = Y: cache both sides' notifications at a monitoring site and
+// maintain the auxiliary items Flag and Tb so that applications get
+//
+//	((Flag = true) ∧ (Tb = s))@t ⇒ (X = Y)@@[s, t−κ]
+//
+// Applies to single items (arity 0).  The private items are MX_, MY_
+// (caches), Flag and Tb, hosted at monitorSite.
+func Monitor(c Copy, monitorSite string, o Options) (Choice, error) {
+	if c.Arity != 0 {
+		return Choice{}, fmt.Errorf("strategy: monitor applies to single items, got arity %d", c.Arity)
+	}
+	cx, cy := "MX_"+c.X, "MY_"+c.Y
+	flag, tb := "Flag_"+c.X+c.Y, "Tb_"+c.X+c.Y
+	eq := rule.Binary{Op: "=", L: rule.ItemRef{Base: cx}, R: rule.ItemRef{Base: cy}}
+	neq := rule.Binary{Op: "!=", L: rule.ItemRef{Base: cx}, R: rule.ItemRef{Base: cy}}
+	eqAndDown := rule.Binary{Op: "&&", L: eq, R: rule.Unary{Op: '!', X: rule.ItemRef{Base: flag}}}
+	mk := func(id, src, cache string) rule.Rule {
+		return rule.Rule{
+			ID:    id,
+			LHS:   event.TN(event.ItemT(src), event.Param("b")),
+			Delta: o.delta(),
+			Steps: []rule.Step{
+				{Eff: event.TW(event.ItemT(cache), event.Param("b"))},
+				{Cond: neq, Eff: event.TW(event.ItemT(flag), event.Lit(data.NewBool(false)))},
+				{Cond: eqAndDown, Eff: event.TW(event.ItemT(tb), event.Param("now"))},
+				{Cond: eq, Eff: event.TW(event.ItemT(flag), event.Lit(data.NewBool(true)))},
+			},
+		}
+	}
+	k := o.bound()
+	return Choice{
+		Name:        "monitor",
+		Description: fmt.Sprintf("monitor %s = %s via cached notifications; applications read Flag/Tb", c.X, c.Y),
+		Rules: []rule.Rule{
+			mk(fmt.Sprintf("monx:%s", c.X), c.X, cx),
+			mk(fmt.Sprintf("mony:%s", c.Y), c.Y, cy),
+		},
+		Private: map[string]string{
+			cx: monitorSite, cy: monitorSite, flag: monitorSite, tb: monitorSite,
+		},
+		Guarantees: []guarantee.Guarantee{
+			guarantee.MonitorFlag{
+				Flag: data.Item(flag), Tb: data.Item(tb),
+				X: data.Item(c.X), Y: data.Item(c.Y),
+				Kappa: k,
+			},
+		},
+		Kappa: k,
+	}, nil
+}
+
+// SuggestCopy enumerates the strategies applicable to a copy constraint
+// given the capability each site's interface statements declare — the
+// initialization-time dialogue of Section 4.1.  Strategies are ordered
+// strongest first.
+func SuggestCopy(c Copy, xCaps, yCaps ris.Capability, xSite, ySite string, o Options) []Choice {
+	var out []Choice
+	if xCaps.Has(ris.CapNotify) && yCaps.Has(ris.CapWrite) {
+		out = append(out, NotifyPropagation(c, o))
+		out = append(out, CachedPropagation(c, ySite, o))
+	}
+	if xCaps.Has(ris.CapRead) && yCaps.Has(ris.CapWrite) {
+		if ch, err := Polling(c, o); err == nil {
+			out = append(out, ch)
+		}
+	}
+	if xCaps.Has(ris.CapNotify) && yCaps.Has(ris.CapNotify) && !yCaps.Has(ris.CapWrite) {
+		if ch, err := Monitor(c, ySite, o); err == nil {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+// Merge folds a choice's rules and private items into a strategy spec.
+func Merge(spec *rule.Spec, ch Choice) error {
+	for base, site := range ch.Private {
+		if !spec.HasSite(site) {
+			return fmt.Errorf("strategy: private item %s needs undeclared site %s", base, site)
+		}
+		if _, dup := spec.Private[base]; dup {
+			return fmt.Errorf("strategy: private item %s already declared", base)
+		}
+		spec.Private[base] = site
+	}
+	spec.Rules = append(spec.Rules, ch.Rules...)
+	return spec.Validate()
+}

@@ -1,0 +1,108 @@
+package strategy
+
+import (
+	"time"
+
+	"cmtk/internal/cmi"
+	"cmtk/internal/data"
+	"cmtk/internal/guarantee"
+	"cmtk/internal/shell"
+	"cmtk/internal/vclock"
+)
+
+// Sweeper implements the Section 6.2 referential-integrity strategy: at
+// the end of each period, delete (or just report) every record of the
+// referencing family that lacks a matching record in the target family.
+// The weakened guarantee it realizes is
+//
+//	E(ref(i))@t ⇒ E(target(i))@[t, t+κ]     with κ = the sweep period
+//
+// The sweeper is a programmatic strategy component: rule-language rules
+// fire per event and cannot iterate over a dynamic key set, so this
+// piece, like the paper's own end-of-day job, runs as a periodic task on
+// the CM-Shell hosting the referencing database.
+type Sweeper struct {
+	sh      *shell.Shell
+	clock   vclock.Clock
+	period  time.Duration
+	ref     cmi.Interface // translator for the referencing database
+	refBase string
+	tgt     cmi.Interface // translator for the target database (read access suffices)
+	tgtBase string
+	// ReportOnly monitors instead of enforcing: orphans are counted but
+	// not deleted (the fallback when the referencing database offers no
+	// delete interface, Section 6.2).
+	ReportOnly bool
+
+	timer    vclock.Timer
+	sweeps   int
+	deleted  int
+	orphaned int
+}
+
+// NewSweeper builds a sweeper.  sh must host the referencing database's
+// site so deletions flow through it (and into its trace).
+func NewSweeper(sh *shell.Shell, clock vclock.Clock, period time.Duration,
+	ref cmi.Interface, refBase string, tgt cmi.Interface, tgtBase string) *Sweeper {
+	return &Sweeper{
+		sh: sh, clock: clock, period: period,
+		ref: ref, refBase: refBase,
+		tgt: tgt, tgtBase: tgtBase,
+	}
+}
+
+// Guarantee returns the weakened referential guarantee the sweeper
+// realizes; slack covers one sweep's processing time.
+func (s *Sweeper) Guarantee(slack time.Duration) guarantee.Guarantee {
+	return guarantee.ExistsWithin{Ref: s.refBase, Target: s.tgtBase, Kappa: s.period + slack}
+}
+
+// Start schedules the periodic sweep.
+func (s *Sweeper) Start() {
+	s.timer = vclock.Every(s.clock, s.period, s.sweep)
+}
+
+// Stop cancels the schedule.
+func (s *Sweeper) Stop() {
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+}
+
+// SweepNow runs one sweep immediately (tests and cmctl use this).
+func (s *Sweeper) SweepNow() { s.sweep() }
+
+func (s *Sweeper) sweep() {
+	s.sweeps++
+	items, err := s.ref.List(s.refBase)
+	if err != nil {
+		return // failure already reported via the translator's hub
+	}
+	for _, it := range items {
+		if len(it.Args) == 0 {
+			continue
+		}
+		tgtItem := data.ItemName{Base: s.tgtBase, Args: it.Args}
+		_, exists, err := s.tgt.Read(tgtItem)
+		if err != nil {
+			return
+		}
+		if exists {
+			continue
+		}
+		s.orphaned++
+		if s.ReportOnly {
+			continue
+		}
+		// Deleting the orphan re-establishes the constraint; the write
+		// request is recorded through the shell so the trace sees it.
+		s.sh.RequestWrite(it, data.NullValue)
+		s.deleted++
+	}
+}
+
+// Stats reports sweeps run, orphans seen, and orphans deleted.
+func (s *Sweeper) Stats() (sweeps, orphaned, deleted int) {
+	return s.sweeps, s.orphaned, s.deleted
+}

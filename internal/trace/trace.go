@@ -1,0 +1,188 @@
+// Package trace records executions — sequences of events with their before
+// and after interpretations — and checks them against the seven validity
+// properties of Appendix A.2.  Every simulated scenario in the test suite
+// and the benchmark harness records a trace and re-validates it, replacing
+// the paper's manual proofs with a machine check on every run.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cmtk/internal/data"
+	"cmtk/internal/event"
+)
+
+// Trace is an append-only record of an execution.  It maintains the
+// running interpretation so that appended events get their old/new
+// components filled in per Appendix A.2 properties 2 and 3.  Trace is safe
+// for concurrent use.
+type Trace struct {
+	mu      sync.Mutex
+	events  []*event.Event
+	state   data.Interpretation
+	initial data.Interpretation
+	seq     uint64
+}
+
+// New returns a trace starting from the given initial interpretation
+// (cloned; nil means the empty state).
+func New(initial data.Interpretation) *Trace {
+	if initial == nil {
+		initial = data.NewInterpretation()
+	}
+	return &Trace{state: initial.Clone(), initial: initial.Clone()}
+}
+
+// Append records the event, assigning its sequence number and computing
+// its old and new interpretations from the running state.  It returns the
+// event for convenience.  The caller fills Time, Site, Desc, Rule and
+// Trigger; Old, New and Seq are owned by the trace.
+func (t *Trace) Append(e *event.Event) *event.Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e.Seq = t.seq
+	t.seq++
+	e.Old = t.state
+	if e.Desc.Op.IsWrite() {
+		t.state = t.state.With(e.Desc.Item, e.Desc.Val)
+	}
+	e.New = t.state
+	t.events = append(t.events, e)
+	return e
+}
+
+// Events returns a snapshot of the recorded events.
+func (t *Trace) Events() []*event.Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*event.Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Len reports the number of recorded events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Initial returns the initial interpretation.
+func (t *Trace) Initial() data.Interpretation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.initial.Clone()
+}
+
+// Final returns the interpretation after the last recorded event.
+func (t *Trace) Final() data.Interpretation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state.Clone()
+}
+
+// StateAt returns the interpretation in force at instant at: the new
+// interpretation of the last event with Time <= at, or the initial
+// interpretation when no event has happened yet.  Events at the same
+// instant apply in sequence order, so the returned state reflects all of
+// them.
+func (t *Trace) StateAt(at time.Time) data.Interpretation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	state := t.initial
+	for _, e := range t.events {
+		if e.Time.After(at) {
+			break
+		}
+		state = e.New
+	}
+	return state
+}
+
+// Sample is one point in a value timeline.
+type Sample struct {
+	At  time.Time
+	Seq uint64
+	V   data.Value
+}
+
+// Timeline returns the distinct values item held over the execution, in
+// order, starting with its initial value.  Consecutive equal values are
+// collapsed; the guarantee checkers consume this.
+func (t *Trace) Timeline(item data.ItemName) []Sample {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := []Sample{{V: t.initial.Get(item)}}
+	for _, e := range t.events {
+		v := e.New.Get(item)
+		if !v.Equal(out[len(out)-1].V) {
+			out = append(out, Sample{At: e.Time, Seq: e.Seq, V: v})
+		}
+	}
+	return out
+}
+
+// Writes returns the performed-write events (W and Ws) on item, in order.
+func (t *Trace) Writes(item data.ItemName) []*event.Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*event.Event
+	for _, e := range t.events {
+		if e.Desc.Op.IsWrite() && e.Desc.Item.Equal(item) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Matching returns events whose descriptor matches the template.
+func (t *Trace) Matching(tpl event.Template) []*event.Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*event.Event
+	for _, e := range t.events {
+		if _, ok := tpl.Match(e.Desc); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// End returns the time of the last event, or the zero time for an empty
+// trace.
+func (t *Trace) End() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) == 0 {
+		return time.Time{}
+	}
+	return t.events[len(t.events)-1].Time
+}
+
+// String renders the whole trace, one event per line, for debugging.
+func (t *Trace) String() string {
+	var b []byte
+	for _, e := range t.Events() {
+		b = append(b, e.String()...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// Violation reports one failure of a validity property or rule obligation.
+type Violation struct {
+	Property int    // Appendix A.2 property number 1..7
+	Metric   bool   // true when the obligation was met but late (a metric failure, Section 5)
+	Seq      uint64 // sequence number of the offending event
+	Msg      string
+}
+
+func (v Violation) String() string {
+	kind := "logical"
+	if v.Metric {
+		kind = "metric"
+	}
+	return fmt.Sprintf("property %d (%s) at #%d: %s", v.Property, kind, v.Seq, v.Msg)
+}

@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"cmtk/internal/wire"
+)
+
+// TCP is a mesh endpoint over real sockets.  Each shell listens on its
+// own address and dials peers lazily, keeping one connection per peer;
+// the wire layer processes messages on a connection strictly in order, so
+// links are FIFO per (sender, receiver) pair like the in-process Bus.
+type TCP struct {
+	shellID string
+	addrs   map[string]string           // shellID -> address
+	resolve func(string) (string, bool) // dynamic lookup when addrs is nil
+	recv    func(Message)
+	srv     *wire.Server
+	mu      sync.Mutex
+	peers   map[string]*wire.Client
+	closed  bool
+}
+
+// NewTCP starts a TCP endpoint for shellID listening on listenAddr.
+// addrs maps every peer shell ID to its address (the routing table
+// established "during initialization", Section 4.1).  recv is invoked for
+// each inbound message.
+func NewTCP(shellID, listenAddr string, addrs map[string]string, recv func(Message)) (*TCP, error) {
+	t := &TCP{
+		shellID: shellID,
+		addrs:   addrs,
+		recv:    recv,
+		peers:   map[string]*wire.Client{},
+	}
+	srv, err := wire.Serve(listenAddr, tcpHandler{t})
+	if err != nil {
+		return nil, err
+	}
+	t.srv = srv
+	return t, nil
+}
+
+// Addr returns the listening address.
+func (t *TCP) Addr() string { return t.srv.Addr() }
+
+type tcpHandler struct{ t *TCP }
+
+func (h tcpHandler) NewSession(func(wire.Message) error) (wire.Session, error) {
+	return tcpSession{h.t}, nil
+}
+
+type tcpSession struct{ t *TCP }
+
+func (s tcpSession) Handle(m wire.Message) wire.Message {
+	if m.Type != "shellmsg" {
+		return wire.ErrorReply(m, fmt.Errorf("transport: unknown request %q", m.Type))
+	}
+	var msg Message
+	if err := json.Unmarshal([]byte(m.Field("m")), &msg); err != nil {
+		return wire.ErrorReply(m, fmt.Errorf("transport: bad message: %w", err))
+	}
+	s.t.recv(msg)
+	return wire.Reply(m)
+}
+
+func (tcpSession) Close() {}
+
+// Send implements Endpoint.
+func (t *TCP) Send(to string, m Message) error {
+	addr, ok := t.addrs[to]
+	if !ok && t.resolve != nil {
+		addr, ok = t.resolve(to)
+	}
+	if !ok {
+		return fmt.Errorf("transport: no address for shell %s", to)
+	}
+	m.From, m.To = t.shellID, to
+	m.TriggerEvent = nil // never crosses the network
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("transport: endpoint %s closed", t.shellID)
+	}
+	c, ok := t.peers[to]
+	t.mu.Unlock()
+	if !ok {
+		nc, err := wire.Dial(addr, nil)
+		if err != nil {
+			return err
+		}
+		t.mu.Lock()
+		if exist, dup := t.peers[to]; dup {
+			t.mu.Unlock()
+			nc.Close()
+			c = exist
+		} else {
+			t.peers[to] = nc
+			t.mu.Unlock()
+			c = nc
+		}
+	}
+	buf, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("transport: marshal: %w", err)
+	}
+	if _, err := c.Do(wire.Message{Type: "shellmsg", F: map[string]string{"m": string(buf)}}); err != nil {
+		// Drop the broken connection so the next send redials.
+		t.mu.Lock()
+		if t.peers[to] == c {
+			delete(t.peers, to)
+		}
+		t.mu.Unlock()
+		c.Close()
+		return err
+	}
+	return nil
+}
+
+// Close implements Endpoint.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	peers := t.peers
+	t.peers = map[string]*wire.Client{}
+	t.mu.Unlock()
+	for _, c := range peers {
+		c.Close()
+	}
+	return t.srv.Close()
+}
+
+var _ Endpoint = (*TCP)(nil)
+
+// TCPNetwork is a Network whose members listen on ephemeral local ports
+// and discover each other through a shared registry — the initialization
+// step that a production deployment would do with static configuration.
+type TCPNetwork struct {
+	mu    sync.Mutex
+	addrs map[string]string
+}
+
+// NewTCPNetwork creates an empty registry.
+func NewTCPNetwork() *TCPNetwork {
+	return &TCPNetwork{addrs: map[string]string{}}
+}
+
+// Join implements Network: it starts a listener for the shell and
+// registers its address.
+func (n *TCPNetwork) Join(shellID string, recv func(Message)) (Endpoint, error) {
+	t, err := NewTCP(shellID, "127.0.0.1:0", nil, recv)
+	if err != nil {
+		return nil, err
+	}
+	t.resolve = func(id string) (string, bool) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		addr, ok := n.addrs[id]
+		return addr, ok
+	}
+	n.mu.Lock()
+	if _, dup := n.addrs[shellID]; dup {
+		n.mu.Unlock()
+		t.Close()
+		return nil, fmt.Errorf("transport: shell %s already joined", shellID)
+	}
+	n.addrs[shellID] = t.Addr()
+	n.mu.Unlock()
+	return t, nil
+}
+
+var _ Network = (*TCPNetwork)(nil)

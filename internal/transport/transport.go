@@ -1,0 +1,269 @@
+// Package transport carries messages between CM-Shells.  Two
+// implementations are provided: an in-process Bus whose delivery is driven
+// by the toolkit clock (deterministic under a virtual clock, with
+// configurable per-link latency), and a TCP mesh built on package wire.
+// Both preserve FIFO order per (sender, receiver) pair — the in-order
+// delivery assumption that Appendix A.2 property 7 formalizes and that
+// the Section 4.2.3 guarantee proofs were found to require.
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cmtk/internal/event"
+	"cmtk/internal/vclock"
+)
+
+// Message is one inter-shell message.
+type Message struct {
+	Kind string // "fire" or "failure"
+	From string // sending shell ID
+	To   string // receiving shell ID
+
+	// fire: execute the RHS of Rule under Bindings; Trigger identifies the
+	// LHS event.
+	Rule     string
+	Bindings map[string]string // parameter -> literal encoding
+	Trigger  EventRef
+
+	// failure: a site's interface failed.
+	FailSite string
+	FailKind string // "metric" or "logical"
+	FailOp   string
+	FailErr  string
+
+	// Payload carries fields for custom message kinds (programmatic
+	// strategy components such as the Demarcation Protocol).
+	Payload map[string]string
+
+	// TriggerEvent carries the full trigger event in-process so traces can
+	// chain provenance; it does not cross the network (TCP receivers
+	// reconstruct a stub from Trigger).
+	TriggerEvent *event.Event `json:"-"`
+}
+
+// EventRef is the serializable identity of an event.
+type EventRef struct {
+	Site string
+	Seq  uint64
+	Time time.Time
+	Desc string // ground descriptor in rule syntax, e.g. N(salary1("e7"), 100)
+}
+
+// Endpoint is one shell's connection to the mesh.
+type Endpoint interface {
+	// Send delivers m to the named shell.  Delivery is asynchronous and
+	// FIFO per destination.
+	Send(to string, m Message) error
+	// Close detaches the endpoint.
+	Close() error
+}
+
+// Network joins shells to a mesh.
+type Network interface {
+	// Join registers a shell; recv is invoked for each delivered message,
+	// serially per endpoint, in FIFO-per-sender order.
+	Join(shellID string, recv func(Message)) (Endpoint, error)
+}
+
+// Bus is the in-process Network.  Latency models the network: each
+// message is delivered Latency after it is sent, on the bus clock, and
+// links stay FIFO even if latency changes between sends.
+type Bus struct {
+	clock   vclock.Clock
+	latency time.Duration
+	mu      sync.Mutex
+	members map[string]*busEndpoint
+	// lastDue enforces FIFO per (from,to) pair under varying latency.
+	lastDue map[[2]string]time.Time
+	// queues holds in-flight messages per (from,to) pair; each delivery
+	// timer pops the head, so arrival order equals send order even when
+	// equal-deadline timers race on the real clock.
+	queues map[[2]string]*pairQueue
+}
+
+type pairQueue struct {
+	mu   sync.Mutex
+	msgs []Message
+}
+
+// NewBus creates a bus on the given clock with the given link latency.
+func NewBus(clock vclock.Clock, latency time.Duration) *Bus {
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	return &Bus{
+		clock:   clock,
+		latency: latency,
+		members: map[string]*busEndpoint{},
+		lastDue: map[[2]string]time.Time{},
+		queues:  map[[2]string]*pairQueue{},
+	}
+}
+
+// SetLatency changes the link latency for subsequent sends.
+func (b *Bus) SetLatency(d time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.latency = d
+}
+
+// Join implements Network.
+func (b *Bus) Join(shellID string, recv func(Message)) (Endpoint, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.members[shellID]; dup {
+		return nil, fmt.Errorf("transport: shell %s already joined", shellID)
+	}
+	ep := &busEndpoint{bus: b, id: shellID, recv: recv}
+	b.members[shellID] = ep
+	return ep, nil
+}
+
+type busEndpoint struct {
+	bus  *Bus
+	id   string
+	recv func(Message)
+	mu   sync.Mutex
+	dead bool
+}
+
+// Send implements Endpoint.
+func (e *busEndpoint) Send(to string, m Message) error {
+	e.mu.Lock()
+	if e.dead {
+		e.mu.Unlock()
+		return fmt.Errorf("transport: endpoint %s closed", e.id)
+	}
+	e.mu.Unlock()
+	b := e.bus
+	b.mu.Lock()
+	dst, ok := b.members[to]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("transport: no shell %s on bus", to)
+	}
+	m.From, m.To = e.id, to
+	key := [2]string{e.id, to}
+	due := b.clock.Now().Add(b.latency)
+	if last, ok := b.lastDue[key]; ok && due.Before(last) {
+		due = last // FIFO: never deliver before an earlier message
+	}
+	b.lastDue[key] = due
+	q := b.queues[key]
+	if q == nil {
+		q = &pairQueue{}
+		b.queues[key] = q
+	}
+	delay := due.Sub(b.clock.Now())
+	b.mu.Unlock()
+	q.mu.Lock()
+	q.msgs = append(q.msgs, m)
+	q.mu.Unlock()
+	b.clock.AfterFunc(delay, func() {
+		q.mu.Lock()
+		if len(q.msgs) == 0 {
+			q.mu.Unlock()
+			return
+		}
+		head := q.msgs[0]
+		q.msgs = q.msgs[1:]
+		q.mu.Unlock()
+		dst.mu.Lock()
+		dead := dst.dead
+		dst.mu.Unlock()
+		if !dead {
+			dst.recv(head)
+		}
+	})
+	return nil
+}
+
+// Close implements Endpoint.
+func (e *busEndpoint) Close() error {
+	e.mu.Lock()
+	e.dead = true
+	e.mu.Unlock()
+	e.bus.mu.Lock()
+	delete(e.bus.members, e.id)
+	e.bus.mu.Unlock()
+	return nil
+}
+
+// Scrambled wraps a Network and swaps every consecutive pair of messages
+// on each (sender, receiver) link.  It deliberately violates the FIFO
+// delivery assumption of Appendix A.2 property 7 — the ablation that
+// shows why the paper's guarantee proofs "discovered ... a requirement
+// for in-order message processing" (Section 4.2.3).
+type Scrambled struct {
+	inner Network
+}
+
+// NewScrambled wraps a network with pair-swapping links.
+func NewScrambled(inner Network) *Scrambled { return &Scrambled{inner: inner} }
+
+// Join implements Network.
+func (s *Scrambled) Join(shellID string, recv func(Message)) (Endpoint, error) {
+	ep, err := s.inner.Join(shellID, recv)
+	if err != nil {
+		return nil, err
+	}
+	return &scrambledEndpoint{inner: ep, held: map[string]*Message{}}, nil
+}
+
+type scrambledEndpoint struct {
+	inner Endpoint
+	mu    sync.Mutex
+	held  map[string]*Message
+}
+
+// Send implements Endpoint: the first message of each pair is held back
+// and sent after the second, inverting their order on the wire.
+func (e *scrambledEndpoint) Send(to string, m Message) error {
+	e.mu.Lock()
+	first := e.held[to]
+	if first == nil {
+		mc := m
+		e.held[to] = &mc
+		e.mu.Unlock()
+		return nil
+	}
+	delete(e.held, to)
+	e.mu.Unlock()
+	if err := e.inner.Send(to, m); err != nil {
+		return err
+	}
+	return e.inner.Send(to, *first)
+}
+
+// Flush releases any held unpaired messages (call at the end of a
+// scenario so odd final messages still arrive).
+func (e *scrambledEndpoint) Flush() error {
+	e.mu.Lock()
+	held := e.held
+	e.held = map[string]*Message{}
+	e.mu.Unlock()
+	for to, m := range held {
+		if err := e.inner.Send(to, *m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Endpoint.
+func (e *scrambledEndpoint) Close() error {
+	e.Flush()
+	return e.inner.Close()
+}
+
+// Flusher is implemented by endpoints that buffer messages.
+type Flusher interface{ Flush() error }
+
+var (
+	_ Network  = (*Scrambled)(nil)
+	_ Endpoint = (*scrambledEndpoint)(nil)
+	_ Flusher  = (*scrambledEndpoint)(nil)
+)

@@ -1,0 +1,259 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"cmtk/internal/vclock"
+)
+
+func TestBusDeliveryAndLatency(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	bus := NewBus(clk, 2*time.Second)
+	var got []Message
+	var when []time.Time
+	_, err := bus.Join("B", func(m Message) {
+		got = append(got, m)
+		when = append(when, clk.Now())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := bus.Join("A", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("B", Message{Kind: "fire", Rule: "r1"}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	if len(got) != 0 {
+		t.Fatal("delivered before latency elapsed")
+	}
+	clk.Advance(time.Second)
+	if len(got) != 1 || got[0].Rule != "r1" || got[0].From != "A" || got[0].To != "B" {
+		t.Fatalf("got = %v", got)
+	}
+	if !when[0].Equal(vclock.Epoch.Add(2 * time.Second)) {
+		t.Fatalf("delivered at %v", when[0])
+	}
+}
+
+func TestBusFIFOUnderVaryingLatency(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	bus := NewBus(clk, 5*time.Second)
+	var order []string
+	bus.Join("B", func(m Message) { order = append(order, m.Rule) })
+	a, _ := bus.Join("A", nil)
+	a.Send("B", Message{Rule: "first"}) // due at t=5
+	bus.SetLatency(time.Second)
+	a.Send("B", Message{Rule: "second"}) // naively due at t=1; FIFO forces t=5
+	clk.Advance(10 * time.Second)
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestBusErrors(t *testing.T) {
+	bus := NewBus(vclock.NewVirtual(vclock.Epoch), 0)
+	a, _ := bus.Join("A", nil)
+	if err := a.Send("nobody", Message{}); err == nil {
+		t.Fatal("send to unknown shell succeeded")
+	}
+	if _, err := bus.Join("A", nil); err == nil {
+		t.Fatal("duplicate join succeeded")
+	}
+	a.Close()
+	if err := a.Send("A", Message{}); err == nil {
+		t.Fatal("send on closed endpoint succeeded")
+	}
+	// Messages in flight to a closed endpoint are dropped, not delivered.
+	clk := vclock.NewVirtual(vclock.Epoch)
+	bus2 := NewBus(clk, time.Second)
+	delivered := 0
+	b, _ := bus2.Join("B", func(Message) { delivered++ })
+	a2, _ := bus2.Join("A", nil)
+	a2.Send("B", Message{})
+	b.Close()
+	clk.Advance(2 * time.Second)
+	if delivered != 0 {
+		t.Fatal("delivered to closed endpoint")
+	}
+}
+
+func TestTCPMesh(t *testing.T) {
+	var mu sync.Mutex
+	var got []Message
+	recvB := func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	}
+	b, err := NewTCP("B", "127.0.0.1:0", nil, recvB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	addrs := map[string]string{"B": b.Addr()}
+	a, err := NewTCP("A", "127.0.0.1:0", addrs, func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < 10; i++ {
+		m := Message{Kind: "fire", Rule: "r", Bindings: map[string]string{"n": "1"},
+			Trigger: EventRef{Site: "A", Seq: uint64(i), Desc: "N(X, 1)"}}
+		if err := a.Send("B", m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d messages arrived", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, m := range got {
+		if m.Trigger.Seq != uint64(i) {
+			t.Fatalf("out of order: %v", got)
+		}
+		if m.From != "A" || m.To != "B" {
+			t.Fatalf("routing fields: %+v", m)
+		}
+	}
+}
+
+func TestTCPSendErrors(t *testing.T) {
+	a, err := NewTCP("A", "127.0.0.1:0", map[string]string{"B": "127.0.0.1:1"}, func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send("unknown", Message{}); err == nil {
+		t.Fatal("send to unrouted shell succeeded")
+	}
+	if err := a.Send("B", Message{}); err == nil {
+		t.Fatal("send to dead address succeeded")
+	}
+	a.Close()
+	if err := a.Send("B", Message{}); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+}
+
+func TestTCPNetwork(t *testing.T) {
+	net := NewTCPNetwork()
+	var mu sync.Mutex
+	var got []Message
+	epB, err := net.Join("B", func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epB.Close()
+	epA, err := net.Join("A", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epA.Close()
+	// Duplicate joins are rejected.
+	if _, err := net.Join("A", func(Message) {}); err == nil {
+		t.Fatal("duplicate join succeeded")
+	}
+	if err := epA.Send("B", Message{Kind: "fire", Rule: "r"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("message never arrived")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Unknown destination fails.
+	if err := epA.Send("nobody", Message{}); err == nil {
+		t.Fatal("send to unjoined shell succeeded")
+	}
+}
+
+func TestBusZeroLatencyRealClockFIFO(t *testing.T) {
+	// On the real clock, equal-deadline timers race; per-pair queues must
+	// still deliver in send order.
+	bus := NewBus(nil, 0) // nil clock = real
+	var mu sync.Mutex
+	var got []uint64
+	done := make(chan struct{})
+	bus.Join("B", func(m Message) {
+		mu.Lock()
+		got = append(got, m.Trigger.Seq)
+		if len(got) == 200 {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	a, _ := bus.Join("A", nil)
+	for i := 0; i < 200; i++ {
+		if err := a.Send("B", Message{Trigger: EventRef{Seq: uint64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("messages never all arrived")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, s := range got {
+		if s != uint64(i) {
+			t.Fatalf("out of order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestScrambledSwapsPairs(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	net := NewScrambled(NewBus(clk, 0))
+	var got []uint64
+	net.Join("B", func(m Message) { got = append(got, m.Trigger.Seq) })
+	a, err := net.Join("A", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		a.Send("B", Message{Trigger: EventRef{Seq: uint64(i)}})
+	}
+	if f, ok := a.(Flusher); ok {
+		f.Flush()
+	}
+	clk.Advance(time.Second)
+	want := []uint64{1, 0, 3, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got = %v, want %v", got, want)
+		}
+	}
+	a.Close()
+}

@@ -1,0 +1,388 @@
+// Package wire provides the framing used by every network protocol in the
+// toolkit: length-prefixed JSON messages over TCP, with synchronous
+// request/response plus server-initiated push (for remote notify
+// interfaces).  Messages on one connection are processed strictly in
+// order, which is the in-order delivery assumption of Appendix A.2
+// property 7 made concrete.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"cmtk/internal/ris"
+)
+
+// MaxFrame bounds a single message to keep a corrupt peer from forcing
+// huge allocations.
+const MaxFrame = 8 << 20
+
+// Message is the single envelope used by all toolkit protocols.  Type
+// names the operation (request) or reply kind; F carries scalar fields;
+// Cols/Rows carry tabular payloads with values rendered as rule-language
+// literals.
+type Message struct {
+	ID   uint64            `json:"id,omitempty"`
+	Type string            `json:"type"`
+	Err  string            `json:"err,omitempty"`
+	F    map[string]string `json:"f,omitempty"`
+	Cols []string          `json:"cols,omitempty"`
+	Rows [][]string        `json:"rows,omitempty"`
+}
+
+// Field reads one scalar field, defaulting to "".
+func (m Message) Field(name string) string { return m.F[name] }
+
+// WithField returns a copy with the field set.
+func (m Message) WithField(name, value string) Message {
+	f := make(map[string]string, len(m.F)+1)
+	for k, v := range m.F {
+		f[k] = v
+	}
+	f[name] = value
+	m.F = f
+	return m
+}
+
+// Reply builds a success reply to a request.
+func Reply(req Message) Message { return Message{ID: req.ID, Type: "ok"} }
+
+// Error code prefixes carried in Message.Err so sentinel errors survive
+// the wire.
+const (
+	codeNotFound    = "notfound: "
+	codeReadOnly    = "readonly: "
+	codeUnsupported = "unsupported: "
+	codeTransient   = "transient: "
+)
+
+// ErrorReply builds an error reply, encoding the error taxonomy.
+func ErrorReply(req Message, err error) Message {
+	return Message{ID: req.ID, Type: "error", Err: EncodeError(err)}
+}
+
+// EncodeError renders an error with its taxonomy prefix.
+func EncodeError(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ris.ErrNotFound):
+		return codeNotFound + err.Error()
+	case errors.Is(err, ris.ErrReadOnly):
+		return codeReadOnly + err.Error()
+	case errors.Is(err, ris.ErrUnsupported):
+		return codeUnsupported + err.Error()
+	case ris.IsTransient(err):
+		return codeTransient + err.Error()
+	default:
+		return err.Error()
+	}
+}
+
+// DecodeError reconstructs a sentinel-wrapped error from a wire string.
+func DecodeError(s string) error {
+	switch {
+	case s == "":
+		return nil
+	case strings.HasPrefix(s, codeNotFound):
+		return fmt.Errorf("%s: %w", strings.TrimPrefix(s, codeNotFound), ris.ErrNotFound)
+	case strings.HasPrefix(s, codeReadOnly):
+		return fmt.Errorf("%s: %w", strings.TrimPrefix(s, codeReadOnly), ris.ErrReadOnly)
+	case strings.HasPrefix(s, codeUnsupported):
+		return fmt.Errorf("%s: %w", strings.TrimPrefix(s, codeUnsupported), ris.ErrUnsupported)
+	case strings.HasPrefix(s, codeTransient):
+		return ris.Transient(errors.New(strings.TrimPrefix(s, codeTransient)))
+	default:
+		return errors.New(s)
+	}
+}
+
+// Conn frames messages over a byte stream.  Reads and writes may proceed
+// concurrently; writes are serialized internally.
+type Conn struct {
+	rw  io.ReadWriteCloser
+	wmu sync.Mutex
+}
+
+// NewConn wraps a stream.
+func NewConn(rw io.ReadWriteCloser) *Conn { return &Conn{rw: rw} }
+
+// Read reads the next message.
+func (c *Conn) Read() (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Message{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.rw, buf); err != nil {
+		return Message{}, err
+	}
+	var m Message
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return Message{}, fmt.Errorf("wire: bad frame: %w", err)
+	}
+	return m, nil
+}
+
+// Write sends a message.
+func (c *Conn) Write(m Message) error {
+	buf, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(buf) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(buf))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(buf)))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.rw.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = c.rw.Write(buf)
+	return err
+}
+
+// Close closes the underlying stream.
+func (c *Conn) Close() error { return c.rw.Close() }
+
+// Session handles one client connection on a server.
+type Session interface {
+	// Handle processes one request and returns the reply.  Requests on one
+	// connection are handled sequentially in arrival order.
+	Handle(m Message) Message
+	// Close releases per-connection state (e.g. cancels watchers).
+	Close()
+}
+
+// Handler creates sessions.  push sends an unsolicited message (ID 0) to
+// the client and may be called from any goroutine until Close.
+type Handler interface {
+	NewSession(push func(Message) error) (Session, error)
+}
+
+// Server accepts connections and dispatches messages to sessions.
+type Server struct {
+	ln        net.Listener
+	handler   Handler
+	mu        sync.Mutex
+	conns     map[*Conn]struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// Serve starts a server on addr ("" or ":0" for an ephemeral port).
+func Serve(addr string, handler Handler) (*Server, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, handler: handler, conns: map[*Conn]struct{}{}, done: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and closes all connections.  It is idempotent.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		err = s.ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				// Transient accept failure; back off briefly.
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+		}
+		conn := NewConn(nc)
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn *Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	sess, err := s.handler.NewSession(func(m Message) error {
+		m.ID = 0
+		return conn.Write(m)
+	})
+	if err != nil {
+		conn.Write(Message{Type: "error", Err: EncodeError(err)})
+		return
+	}
+	defer sess.Close()
+	for {
+		m, err := conn.Read()
+		if err != nil {
+			return
+		}
+		reply := sess.Handle(m)
+		reply.ID = m.ID
+		if reply.Type == "" {
+			reply.Type = "ok"
+		}
+		if err := conn.Write(reply); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a synchronous request/response client with support for
+// server-push messages.
+type Client struct {
+	conn    *Conn
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan Message
+	onPush  func(Message)
+	closed  chan struct{}
+	err     error
+	timeout time.Duration
+}
+
+// Dial connects to a toolkit server.  onPush, when non-nil, receives
+// unsolicited messages (notifications) in arrival order; it runs on the
+// client's read goroutine, so it must not block on the same client.
+func Dial(addr string, onPush func(Message)) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, ris.Transient(err))
+	}
+	c := &Client{
+		conn:    NewConn(nc),
+		pending: map[uint64]chan Message{},
+		onPush:  onPush,
+		closed:  make(chan struct{}),
+		timeout: 10 * time.Second,
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// SetTimeout adjusts the per-request timeout.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+func (c *Client) readLoop() {
+	for {
+		m, err := c.conn.Read()
+		if err != nil {
+			c.mu.Lock()
+			c.err = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			select {
+			case <-c.closed:
+			default:
+				close(c.closed)
+			}
+			return
+		}
+		if m.ID == 0 {
+			if c.onPush != nil {
+				c.onPush(m)
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[m.ID]
+		if ok {
+			delete(c.pending, m.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- m
+		}
+	}
+}
+
+// Do sends a request and waits for its reply.  Protocol errors in the
+// reply are decoded back to taxonomy errors.
+func (c *Client) Do(m Message) (Message, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return Message{}, ris.Transient(err)
+	}
+	c.nextID++
+	m.ID = c.nextID
+	ch := make(chan Message, 1)
+	c.pending[m.ID] = ch
+	c.mu.Unlock()
+	if err := c.conn.Write(m); err != nil {
+		c.mu.Lock()
+		delete(c.pending, m.ID)
+		c.mu.Unlock()
+		return Message{}, ris.Transient(err)
+	}
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			return Message{}, fmt.Errorf("wire: connection lost: %w", ris.ErrUnavailable)
+		}
+		if reply.Type == "error" {
+			return reply, DecodeError(reply.Err)
+		}
+		return reply, nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pending, m.ID)
+		c.mu.Unlock()
+		return Message{}, ris.Transient(fmt.Errorf("wire: request %s timed out", m.Type))
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
