@@ -136,6 +136,27 @@ func BenchmarkE10InOrderAblation(b *testing.B) {
 	}
 }
 
+func BenchmarkE12ReliableDelivery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := harness.E12(3)
+		if len(tbl.Rows) != 4 {
+			b.Fatalf("E12 rows = %d", len(tbl.Rows))
+		}
+		// Raw links are expected to fail leads and end stale — that IS the
+		// ablation; the reliable rows must be clean everywhere.
+		for _, row := range tbl.Rows {
+			if row[0] == "reliable" {
+				for i, cell := range row {
+					if strings.Contains(cell, "FAILS") {
+						b.Fatalf("E12 reliable arm failed column %q: %v", tbl.Columns[i], row)
+					}
+				}
+			}
+		}
+		requireNoViolationMarks(b, tbl, "leads", "final value correct")
+	}
+}
+
 func BenchmarkE11ClockSkew(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tbl := harness.E11(3)

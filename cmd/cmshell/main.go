@@ -15,6 +15,11 @@
 // shell hosts (defaults to all RIDs given).  -peer maps peer shell IDs to
 // their mesh addresses, and -route maps remote sites to the peer shells
 // hosting them.
+//
+// Mesh links are reliable by default (sequencing, ack-driven retry,
+// outage buffering with ordered replay); acks flow back over the mesh,
+// so every pair of communicating shells should list each other in -peer.
+// -unreliable reverts to raw fire-and-forget TCP sends.
 package main
 
 import (
@@ -24,6 +29,8 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"cmtk/internal/cmi"
 	"cmtk/internal/rid"
@@ -31,6 +38,7 @@ import (
 	"cmtk/internal/shell"
 	"cmtk/internal/translator"
 	"cmtk/internal/transport"
+	"cmtk/internal/wire"
 )
 
 type repeated []string
@@ -42,6 +50,10 @@ func main() {
 	id := flag.String("id", "", "shell ID (required)")
 	specPath := flag.String("spec", "", "strategy specification file (required)")
 	listen := flag.String("listen", "127.0.0.1:0", "mesh listen address")
+	unreliable := flag.Bool("unreliable", false, "raw mesh sends: no retry, no outage buffering")
+	retry := flag.Duration("retry", 200*time.Millisecond, "reliable-link base retransmit interval")
+	dialTimeout := flag.Duration("dial-timeout", 5*time.Second, "mesh peer dial timeout")
+	reqTimeout := flag.Duration("req-timeout", 10*time.Second, "mesh request timeout")
 	var ridPaths, peers, routes repeated
 	flag.Var(&ridPaths, "rid", "CM-RID file for a hosted site (repeatable)")
 	flag.Var(&peers, "peer", "peer shell as id=addr (repeatable)")
@@ -94,20 +106,51 @@ func main() {
 		}
 		sh.Route(site, shellID)
 	}
-	mesh, err := transport.NewTCP(*id, *listen, addrs, sh.Receive)
-	if err != nil {
-		log.Fatal(err)
+	dialOpts := []wire.DialOption{
+		wire.WithDialTimeout(*dialTimeout),
+		wire.WithRequestTimeout(*reqTimeout),
 	}
-	sh.AttachEndpoint(mesh)
-	fmt.Printf("cmshell: %s listening on %s\n", *id, mesh.Addr())
+	var ep transport.Endpoint
+	var rel *transport.ReliableEndpoint
+	if *unreliable {
+		mesh, err := transport.NewTCP(*id, *listen, addrs, sh.Receive, dialOpts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ep = mesh
+		fmt.Printf("cmshell: %s (raw links) listening on %s\n", *id, mesh.Addr())
+	} else {
+		rel = transport.NewReliableEndpoint(sh.Receive, transport.ReliableOptions{RetryInterval: *retry})
+		mesh, err := transport.NewTCP(*id, *listen, addrs, rel.Deliver, dialOpts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel.Bind(mesh)
+		rel.OnLinkEvent(func(ev transport.LinkEvent) {
+			log.Printf("cmshell: link %s %s (attempts=%d messages=%d)", ev.Peer, ev.Kind, ev.Attempts, ev.Messages)
+		})
+		ep = rel
+		fmt.Printf("cmshell: %s (reliable links) listening on %s\n", *id, mesh.Addr())
+	}
+	sh.AttachEndpoint(ep)
 
 	sh.OnFailure(func(f cmi.Failure) { log.Printf("cmshell: %s", f) })
 	if err := sh.Start(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("cmshell: running; ^C to stop")
+	fmt.Println("cmshell: running; ^C or SIGTERM to stop")
+	// Graceful shutdown: cancel subscriptions and timers, then close the
+	// mesh endpoint (Stop closes it) instead of dying mid-frame.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("cmshell: %s, shutting down\n", got)
+	if rel != nil {
+		for _, p := range peers {
+			if name, _, ok := strings.Cut(p, "="); ok && rel.Pending(name) > 0 {
+				log.Printf("cmshell: %d message(s) to %s still unacked", rel.Pending(name), name)
+			}
+		}
+	}
 	sh.Stop()
 }

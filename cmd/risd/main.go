@@ -19,6 +19,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"cmtk/internal/ris/bibstore"
 	"cmtk/internal/ris/filestore"
@@ -81,10 +82,15 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("risd: serving %s %q on %s\n", *kind, *name, srv.Addr())
+	// Shut down gracefully on SIGINT/SIGTERM: stop accepting, close the
+	// listener and live sessions instead of dying mid-frame.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	srv.Close()
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("risd: %s, shutting down\n", got)
+	if err := srv.Close(); err != nil {
+		log.Printf("risd: close: %v", err)
+	}
 }
 
 func mustExec(db *relstore.DB, sql string) {

@@ -22,9 +22,9 @@ type RelClient struct {
 }
 
 // DialRel connects to a ServeRel address.
-func DialRel(addr string) (*RelClient, error) {
+func DialRel(addr string, opts ...wire.DialOption) (*RelClient, error) {
 	rc := &RelClient{watchers: map[string][]relstore.Trigger{}}
-	c, err := wire.Dial(addr, rc.onPush)
+	c, err := wire.Dial(addr, rc.onPush, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -140,9 +140,9 @@ type KVClient struct {
 }
 
 // DialKV connects to a ServeKV address.
-func DialKV(addr string) (*KVClient, error) {
+func DialKV(addr string, opts ...wire.DialOption) (*KVClient, error) {
 	kc := &KVClient{}
-	c, err := wire.Dial(addr, kc.onPush)
+	c, err := wire.Dial(addr, kc.onPush, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -239,8 +239,8 @@ func (kc *KVClient) Close() error { return kc.c.Close() }
 type FileClient struct{ c *wire.Client }
 
 // DialFile connects to a ServeFile address.
-func DialFile(addr string) (*FileClient, error) {
-	c, err := wire.Dial(addr, nil)
+func DialFile(addr string, opts ...wire.DialOption) (*FileClient, error) {
+	c, err := wire.Dial(addr, nil, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -296,8 +296,8 @@ func (fc *FileClient) Close() error { return fc.c.Close() }
 type BibClient struct{ c *wire.Client }
 
 // DialBib connects to a ServeBib address.
-func DialBib(addr string) (*BibClient, error) {
-	c, err := wire.Dial(addr, nil)
+func DialBib(addr string, opts ...wire.DialOption) (*BibClient, error) {
+	c, err := wire.Dial(addr, nil, opts...)
 	if err != nil {
 		return nil, err
 	}

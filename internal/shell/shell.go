@@ -85,6 +85,26 @@ type Shell struct {
 	failures   []cmi.Failure
 	failureFns []func(cmi.Failure)
 	custom     map[string]func(transport.Message)
+
+	// remote-fire delivery counters (Stats)
+	statMu sync.Mutex
+	stats  Stats
+}
+
+// Stats counts the shell's remote-fire delivery outcomes.
+type Stats struct {
+	// RemoteFires is the number of rule firings handed to the transport
+	// for a remote shell.
+	RemoteFires uint64
+	// DroppedFires counts remote firings lost for good: raw-endpoint send
+	// errors, reliable-link outbox overflow, or retry-budget exhaustion.
+	DroppedFires uint64
+	// RetriedFires counts firing retransmissions by the reliability layer
+	// (the same firing may be retried more than once).
+	RetriedFires uint64
+	// ReplayedSends is the number of buffered messages replayed in order
+	// and acknowledged after a degraded link recovered.
+	ReplayedSends uint64
 }
 
 // New creates a shell for the given strategy specification.
@@ -139,12 +159,121 @@ func (s *Shell) Attach(n transport.Network) error {
 		return err
 	}
 	s.ep = ep
+	s.watchLinks(ep)
 	return nil
 }
 
 // AttachEndpoint installs a pre-built endpoint (used by the TCP mesh,
 // whose endpoint is constructed with the receive callback up front).
-func (s *Shell) AttachEndpoint(ep transport.Endpoint) { s.ep = ep }
+func (s *Shell) AttachEndpoint(ep transport.Endpoint) {
+	s.ep = ep
+	s.watchLinks(ep)
+}
+
+// linkWatcher is satisfied by transport.ReliableEndpoint; when the
+// attached endpoint reports link health, the shell folds those events
+// into the Section 5 failure taxonomy.
+type linkWatcher interface {
+	OnLinkEvent(func(transport.LinkEvent))
+}
+
+func (s *Shell) watchLinks(ep transport.Endpoint) {
+	if lw, ok := ep.(linkWatcher); ok {
+		lw.OnLinkEvent(s.onLinkEvent)
+	}
+}
+
+// sitesRoutedTo lists the sites this shell reaches through a peer shell.
+// Routing is fixed after Start, like the other configuration maps.
+func (s *Shell) sitesRoutedTo(peer string) []string {
+	var sites []string
+	for site, shellID := range s.routing {
+		if shellID == peer {
+			sites = append(sites, site)
+		}
+	}
+	return sites
+}
+
+// onLinkEvent maps reliability-layer link events onto the failure
+// taxonomy: a degraded link is a metric failure (the outbox "can remember
+// messages that need to be sent out upon recovery", Section 5) for every
+// site reached through the peer; dropped messages (overflow, exhausted
+// retry budget) are logical failures; recovery clears the link's metric
+// failures here and tells peers to do the same.
+func (s *Shell) onLinkEvent(ev transport.LinkEvent) {
+	switch ev.Kind {
+	case transport.LinkRetry:
+		s.statMu.Lock()
+		s.stats.RetriedFires += uint64(ev.Fires)
+		s.statMu.Unlock()
+	case transport.LinkDegraded:
+		for _, site := range s.sitesRoutedTo(ev.Peer) {
+			s.reportFailure(cmi.Failure{
+				Kind: cmi.FailMetric, Site: site, When: s.clock.Now(),
+				Op: "link", Err: fmt.Errorf("link to %s degraded after %d attempts (%d buffered): %v",
+					ev.Peer, ev.Attempts, ev.Messages, ev.Err),
+			}, true)
+		}
+	case transport.LinkOverflow, transport.LinkGaveUp:
+		s.statMu.Lock()
+		s.stats.DroppedFires += uint64(ev.Fires)
+		s.statMu.Unlock()
+		for _, site := range s.sitesRoutedTo(ev.Peer) {
+			s.reportFailure(cmi.Failure{
+				Kind: cmi.FailLogical, Site: site, When: s.clock.Now(),
+				Op: "link", Err: fmt.Errorf("link to %s lost %d message(s) (%s): %v",
+					ev.Peer, ev.Messages, ev.Kind, ev.Err),
+			}, true)
+		}
+	case transport.LinkRecovered:
+		s.statMu.Lock()
+		s.stats.ReplayedSends += uint64(ev.Messages)
+		s.statMu.Unlock()
+		sites := s.sitesRoutedTo(ev.Peer)
+		for _, site := range sites {
+			s.clearLinkFailures(site)
+		}
+		// Tell every peer the outage is repaired so they can clear the
+		// propagated copies (the recovery notification of Section 5).
+		if s.ep != nil {
+			peers := map[string]bool{}
+			for _, shellID := range s.routing {
+				if shellID != s.id {
+					peers[shellID] = true
+				}
+			}
+			for peer := range peers {
+				for _, site := range sites {
+					s.ep.Send(peer, transport.Message{Kind: "recovered", FailSite: site, FailOp: "link"})
+				}
+			}
+		}
+	}
+}
+
+// clearLinkFailures drops recorded metric link failures for a site — the
+// targeted counterpart of ClearFailures, safe to apply automatically
+// because a drained outbox proves no message was lost.
+func (s *Shell) clearLinkFailures(site string) {
+	s.failMu.Lock()
+	kept := s.failures[:0]
+	for _, f := range s.failures {
+		if f.Kind == cmi.FailMetric && f.Op == "link" && f.Site == site {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	s.failures = kept
+	s.failMu.Unlock()
+}
+
+// Stats returns the shell's remote-fire delivery counters.
+func (s *Shell) Stats() Stats {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.stats
+}
 
 // Receive is the inbound message callback to wire into transports that
 // are constructed before the shell (e.g. transport.NewTCP).
@@ -418,10 +547,20 @@ func (s *Shell) dispatch(r rule.Rule, b event.Bindings, trigger *event.Event) {
 		Trigger:      transport.EventRef{Site: trigger.Site, Seq: trigger.Seq, Time: trigger.Time, Desc: trigger.Desc.String()},
 		TriggerEvent: trigger,
 	}
+	s.statMu.Lock()
+	s.stats.RemoteFires++
+	s.statMu.Unlock()
 	if err := s.ep.Send(target, msg); err != nil {
+		// A raw endpoint rejected the send and the firing is gone for good;
+		// a reliable endpoint never errors here — it buffers and reports
+		// link health through onLinkEvent instead.
+		s.statMu.Lock()
+		s.stats.DroppedFires++
+		s.statMu.Unlock()
 		s.reportFailure(cmi.Failure{
 			Kind: cmi.FailMetric, Site: effSite, When: s.clock.Now(),
-			Op: "send", Err: err,
+			Op:  "send fire " + r.ID,
+			Err: fmt.Errorf("rule %s to shell %s: %w", r.ID, target, err),
 		}, true)
 	}
 }
@@ -460,6 +599,10 @@ func (s *Shell) receive(m transport.Message) {
 			Kind: kind, Site: m.FailSite, When: s.clock.Now(),
 			Op: m.FailOp, Err: fmt.Errorf("%s", m.FailErr),
 		}, false)
+	case "recovered":
+		// A peer's degraded link drained its outbox: the propagated metric
+		// link failures for that site are moot.
+		s.clearLinkFailures(m.FailSite)
 	default:
 		s.failMu.Lock()
 		fn := s.custom[m.Kind]

@@ -1,0 +1,677 @@
+// Reliable delivery for the shell mesh.  The paper's failure model
+// (Section 5) lets a crash degrade to a *metric* failure only "if the
+// database ... can remember messages that need to be sent out upon
+// recovery"; a raw link that drops a fire message instead breaks the
+// guarantees outright.  Reliable is a Network/Endpoint wrapper that earns
+// the metric-failure classification: every (sender, receiver) link gets
+// per-link sequence numbers, a bounded outbox with ack-driven retry and
+// exponential backoff, receiver-side dedup, and a reorder buffer, so
+// messages survive transient outages with at-least-once delivery and
+// exactly-once effect — and FIFO order per link (the Appendix A.2
+// property-7 assumption) holds even across retransmits.
+//
+// Peer health maps onto the Section 5 failure taxonomy through LinkEvents:
+// FailThreshold consecutive failed delivery attempts degrade the link
+// (metric failure — messages keep buffering), outbox overflow or retry-
+// budget exhaustion loses messages (logical failure), and a degraded link
+// whose outbox fully drains after reconnection raises a recovery event so
+// shells can clear the metric failures it caused.
+package transport
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+
+	"cmtk/internal/vclock"
+)
+
+// Reserved message vocabulary of the reliability layer.  relSeqKey,
+// relBaseKey and relEpochKey ride in Message.Payload on data messages;
+// acks are standalone messages of kind relAckKind carrying the receiver's
+// next expected sequence number (a cumulative ack).
+//
+// relBaseKey is the lowest unacked sequence in the sender's outbox at
+// transmission time.  Everything below it was acknowledged (necessarily
+// by a previous incarnation of the receiver, if the receiver holds no
+// state for the link) and will never be retransmitted, so a receiver may
+// always fast-forward its expected sequence to the base — this is what
+// lets a restarted receiver process, whose dedup state died with it,
+// resume the stream mid-way instead of waiting forever for retired
+// messages.  relEpochKey identifies the sender incarnation (construction
+// time, monotone across restarts): a higher epoch than the one on record
+// means the sender restarted and began a fresh stream, so the receiver
+// resets its link state; a lower one marks a stale straggler to drop.
+const (
+	relSeqKey   = "rel.seq"
+	relBaseKey  = "rel.base"
+	relEpochKey = "rel.epoch"
+	relAckKind  = "rel.ack"
+	relAckKey   = "rel.next"
+)
+
+// LinkEventKind classifies reliability-layer link events.
+type LinkEventKind int
+
+// Link event kinds.
+const (
+	// LinkRetry: a retransmission round ran for a link with unacked
+	// messages.
+	LinkRetry LinkEventKind = iota
+	// LinkDegraded: FailThreshold consecutive delivery attempts went
+	// unacked — a metric failure; buffering continues.
+	LinkDegraded
+	// LinkRecovered: a degraded link's outbox fully drained again — the
+	// buffered messages were replayed in order and acknowledged.
+	LinkRecovered
+	// LinkOverflow: the outbox hit OutboxLimit and a message was dropped —
+	// a logical failure.
+	LinkOverflow
+	// LinkGaveUp: RetryBudget attempts elapsed and the outbox was dropped —
+	// a logical failure.
+	LinkGaveUp
+)
+
+func (k LinkEventKind) String() string {
+	switch k {
+	case LinkRetry:
+		return "retry"
+	case LinkDegraded:
+		return "degraded"
+	case LinkRecovered:
+		return "recovered"
+	case LinkOverflow:
+		return "overflow"
+	default:
+		return "gave-up"
+	}
+}
+
+// LinkEvent reports a reliability-layer state change on one link.
+type LinkEvent struct {
+	Kind LinkEventKind
+	Peer string // the remote shell
+	Err  error  // last send error, when one was observed
+	// Attempts is the count of consecutive unacknowledged delivery
+	// attempts (Retry, Degraded).
+	Attempts int
+	// Messages counts the messages involved: retransmitted (Retry),
+	// replayed and acknowledged since degradation (Recovered), or dropped
+	// (Overflow, GaveUp).
+	Messages int
+	// Fires is how many of Messages are rule firings (kind "fire").
+	Fires int
+}
+
+// ReliableOptions tunes the reliability layer.  The zero value gives
+// real-clock defaults suitable for a live TCP mesh.
+type ReliableOptions struct {
+	// Clock drives retry timers and backoff; nil means real time.  Under a
+	// vclock.Virtual the whole retry schedule is deterministic.
+	Clock vclock.Clock
+	// RetryInterval is the base retransmission backoff (default 200ms);
+	// attempt n waits RetryInterval·2ⁿ, capped at MaxBackoff.
+	RetryInterval time.Duration
+	// MaxBackoff caps the exponential backoff (default 16×RetryInterval).
+	MaxBackoff time.Duration
+	// FailThreshold is the number of consecutive unacked delivery attempts
+	// after which the link is reported degraded (default 3).
+	FailThreshold int
+	// RetryBudget bounds attempts per outage; exceeding it drops the
+	// outbox with a LinkGaveUp event.  0 means retry forever.
+	RetryBudget int
+	// OutboxLimit bounds the unacked messages buffered per link (default
+	// 1024); the receive-side reorder buffer shares the bound.
+	OutboxLimit int
+	// Seed makes the backoff jitter deterministic (per-link streams are
+	// derived from Seed and the peer name).
+	Seed int64
+}
+
+func (o ReliableOptions) withDefaults() ReliableOptions {
+	if o.Clock == nil {
+		o.Clock = vclock.Real{}
+	}
+	if o.RetryInterval <= 0 {
+		o.RetryInterval = 200 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 16 * o.RetryInterval
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 3
+	}
+	if o.OutboxLimit <= 0 {
+		o.OutboxLimit = 1024
+	}
+	return o
+}
+
+// Reliable wraps a Network so every link gets sequencing, ack-driven
+// retransmission, outage buffering with in-order replay, and receiver
+// dedup.  Both sides of a link must be wrapped (the receiver answers with
+// acks); unwrapped senders still interoperate — their messages carry no
+// sequence number and pass straight through.
+type Reliable struct {
+	inner Network
+	opts  ReliableOptions
+}
+
+// NewReliable wraps a network with reliable links.
+func NewReliable(inner Network, opts ReliableOptions) *Reliable {
+	return &Reliable{inner: inner, opts: opts}
+}
+
+// Join implements Network.
+func (r *Reliable) Join(shellID string, recv func(Message)) (Endpoint, error) {
+	re := NewReliableEndpoint(recv, r.opts)
+	inner, err := r.inner.Join(shellID, re.Deliver)
+	if err != nil {
+		return nil, err
+	}
+	re.Bind(inner)
+	return re, nil
+}
+
+var _ Network = (*Reliable)(nil)
+
+// relMsg is one buffered outbound message.
+type relMsg struct {
+	seq uint64
+	m   Message
+}
+
+// relOut is the sender half of one link.
+type relOut struct {
+	nextSeq  uint64
+	q        []relMsg // unacked, ascending seq
+	timer    vclock.Timer
+	attempts int // consecutive unacked delivery attempts
+	degraded bool
+	replayed int // messages acked while degraded
+	lastErr  error
+	rng      *rand.Rand
+}
+
+// relIn is the receiver half of one link.
+type relIn struct {
+	epoch uint64             // sender incarnation last seen
+	next  uint64             // next expected seq
+	hold  map[uint64]Message // reorder buffer for out-of-order arrivals
+}
+
+// ReliableEndpoint is one shell's reliable attachment.  It is normally
+// created through Reliable.Join; deployments that build raw endpoints
+// directly (transport.NewTCP) construct one with NewReliableEndpoint,
+// route the raw endpoint's inbound callback to Deliver, and Bind the raw
+// endpoint for sends.  Bind may be called again after the underlying
+// endpoint crashes — sequencing and dedup state survive, so the outbox is
+// replayed in order and retransmits are deduplicated (exactly-once
+// effect across the outage).
+//
+// A full process restart on either side is tolerated too: data messages
+// carry the sender incarnation epoch and the outbox base, so a restarted
+// receiver (whose dedup state died with it) fast-forwards to the base and
+// resumes the stream mid-way, and a restarted sender's higher epoch makes
+// the receiver reset the link and accept the fresh numbering.  Across a
+// restart delivery is at-least-once in FIFO order; only a surviving
+// endpoint can deduplicate down to exactly-once.
+type ReliableEndpoint struct {
+	opts  ReliableOptions
+	clock vclock.Clock
+	recv  func(Message)
+	epoch uint64 // this sender incarnation, stamped on outbound messages
+
+	mu       sync.Mutex
+	inner    Endpoint
+	out      map[string]*relOut
+	in       map[string]*relIn
+	handlers []func(LinkEvent)
+	closed   bool
+}
+
+// NewReliableEndpoint creates an unbound reliable endpoint delivering
+// inbound messages to recv.
+func NewReliableEndpoint(recv func(Message), opts ReliableOptions) *ReliableEndpoint {
+	o := opts.withDefaults()
+	return &ReliableEndpoint{
+		opts: o,
+		// The construction instant identifies this incarnation: a process
+		// that crashes and restarts gets a strictly later epoch, which is
+		// how peers tell a fresh stream from a retransmit of the old one.
+		epoch: uint64(o.Clock.Now().UnixNano()),
+		clock: o.Clock,
+		recv:  recv,
+		out:   map[string]*relOut{},
+		in:    map[string]*relIn{},
+	}
+}
+
+// Bind installs (or replaces, after a crash) the raw endpoint used for
+// transmission.
+func (r *ReliableEndpoint) Bind(inner Endpoint) {
+	r.mu.Lock()
+	r.inner = inner
+	r.mu.Unlock()
+}
+
+// OnLinkEvent registers an observer for link health events.  Handlers run
+// outside the endpoint's lock and may call Send.
+func (r *ReliableEndpoint) OnLinkEvent(fn func(LinkEvent)) {
+	r.mu.Lock()
+	r.handlers = append(r.handlers, fn)
+	r.mu.Unlock()
+}
+
+// Pending reports the number of unacked messages buffered for a peer.
+func (r *ReliableEndpoint) Pending(peer string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if o := r.out[peer]; o != nil {
+		return len(o.q)
+	}
+	return 0
+}
+
+func (r *ReliableEndpoint) emit(evs []LinkEvent) {
+	if len(evs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	fns := append([]func(LinkEvent){}, r.handlers...)
+	r.mu.Unlock()
+	for _, ev := range evs {
+		for _, fn := range fns {
+			fn(ev)
+		}
+	}
+}
+
+func (r *ReliableEndpoint) outLink(to string) *relOut {
+	o := r.out[to]
+	if o == nil {
+		h := fnv.New64a()
+		h.Write([]byte(to))
+		o = &relOut{rng: rand.New(rand.NewSource(r.opts.Seed ^ int64(h.Sum64())))}
+		r.out[to] = o
+	}
+	return o
+}
+
+// backoffLocked computes the delay before the next retransmission round:
+// exponential in the consecutive-failure count, capped, plus up to 10%
+// deterministic jitter so fleets of links do not retry in lockstep.
+func (o *relOut) backoffLocked(opts ReliableOptions) time.Duration {
+	d := opts.RetryInterval
+	for i := 0; i < o.attempts && d < opts.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > opts.MaxBackoff {
+		d = opts.MaxBackoff
+	}
+	return d + time.Duration(o.rng.Int63n(int64(d)/10+1))
+}
+
+// scheduleLocked arms the retry timer for a link if none is pending.
+func (r *ReliableEndpoint) scheduleLocked(to string, o *relOut) {
+	if o.timer != nil {
+		return
+	}
+	o.timer = r.clock.AfterFunc(o.backoffLocked(r.opts), func() { r.retry(to) })
+}
+
+func countFires(q []relMsg) int {
+	n := 0
+	for _, e := range q {
+		if e.m.Kind == "fire" {
+			n++
+		}
+	}
+	return n
+}
+
+// Send implements Endpoint.  The message is sequenced, buffered until
+// acknowledged, and transmitted; loss is repaired by the retry schedule,
+// so Send only errors when the endpoint itself is closed or unbound.
+// Overflow of the bounded outbox is surfaced as a LinkOverflow event (a
+// logical failure), not an error, so callers do not double-report.
+func (r *ReliableEndpoint) Send(to string, m Message) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("transport: reliable endpoint closed")
+	}
+	inner := r.inner
+	if inner == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("transport: reliable endpoint not bound")
+	}
+	o := r.outLink(to)
+	if len(o.q) >= r.opts.OutboxLimit {
+		ev := LinkEvent{
+			Kind: LinkOverflow, Peer: to, Err: o.lastErr,
+			Attempts: o.attempts, Messages: 1,
+		}
+		if m.Kind == "fire" {
+			ev.Fires = 1
+		}
+		r.mu.Unlock()
+		r.emit([]LinkEvent{ev})
+		return nil
+	}
+	seq := o.nextSeq
+	o.nextSeq++
+	wm := m
+	p := make(map[string]string, len(m.Payload)+2)
+	for k, v := range m.Payload {
+		p[k] = v
+	}
+	p[relSeqKey] = strconv.FormatUint(seq, 10)
+	p[relEpochKey] = strconv.FormatUint(r.epoch, 10)
+	wm.Payload = p
+	o.q = append(o.q, relMsg{seq: seq, m: wm})
+	out := withBase(wm, o.q[0].seq)
+	r.scheduleLocked(to, o)
+	r.mu.Unlock()
+	if err := inner.Send(to, out); err != nil {
+		r.mu.Lock()
+		o.lastErr = err
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// retry runs one retransmission round for a link.
+func (r *ReliableEndpoint) retry(to string) {
+	r.mu.Lock()
+	o := r.out[to]
+	if o == nil || r.closed {
+		r.mu.Unlock()
+		return
+	}
+	o.timer = nil
+	if len(o.q) == 0 {
+		o.attempts = 0
+		r.mu.Unlock()
+		return
+	}
+	o.attempts++
+	var evs []LinkEvent
+	if !o.degraded && o.attempts >= r.opts.FailThreshold {
+		o.degraded = true
+		o.replayed = 0
+		evs = append(evs, LinkEvent{
+			Kind: LinkDegraded, Peer: to, Err: o.lastErr, Attempts: o.attempts,
+			Messages: len(o.q), Fires: countFires(o.q),
+		})
+	}
+	if r.opts.RetryBudget > 0 && o.attempts > r.opts.RetryBudget {
+		dropped := o.q
+		o.q = nil
+		o.attempts = 0
+		o.degraded = false
+		evs = append(evs, LinkEvent{
+			Kind: LinkGaveUp, Peer: to, Err: o.lastErr, Attempts: r.opts.RetryBudget,
+			Messages: len(dropped), Fires: countFires(dropped),
+		})
+		r.mu.Unlock()
+		r.emit(evs)
+		return
+	}
+	// Each retransmission round re-stamps the current outbox base, so a
+	// receiver that lost its link state (a process restart) can adopt the
+	// sender's position instead of waiting for retired messages.
+	base := o.q[0].seq
+	batch := make([]relMsg, len(o.q))
+	for i, e := range o.q {
+		batch[i] = relMsg{seq: e.seq, m: withBase(e.m, base)}
+	}
+	evs = append(evs, LinkEvent{
+		Kind: LinkRetry, Peer: to, Err: o.lastErr, Attempts: o.attempts,
+		Messages: len(batch), Fires: countFires(batch),
+	})
+	r.scheduleLocked(to, o)
+	inner := r.inner
+	r.mu.Unlock()
+	if inner != nil {
+		for _, e := range batch {
+			if err := inner.Send(to, e.m); err != nil {
+				r.mu.Lock()
+				o.lastErr = err
+				r.mu.Unlock()
+				break // link is down; the next round retries from the ack point
+			}
+		}
+	}
+	r.emit(evs)
+}
+
+// Deliver is the inbound path: raw endpoints route their receive callback
+// here.  Data messages are deduplicated and released in sequence order;
+// acks retire outbox entries.  Transports invoke receive callbacks
+// serially per sender (the Network contract), which Deliver relies on to
+// keep per-link delivery FIFO.
+func (r *ReliableEndpoint) Deliver(m Message) {
+	if m.Kind == relAckKind {
+		r.handleAck(m)
+		return
+	}
+	seqStr, ok := m.Payload[relSeqKey]
+	if !ok {
+		// A peer without the reliability layer: pass through unchanged.
+		r.recv(m)
+		return
+	}
+	seq, err := strconv.ParseUint(seqStr, 10, 64)
+	if err != nil {
+		return
+	}
+	epoch, _ := strconv.ParseUint(m.Payload[relEpochKey], 10, 64)
+	base, _ := strconv.ParseUint(m.Payload[relBaseKey], 10, 64)
+	from := m.From
+	r.mu.Lock()
+	in := r.in[from]
+	if in == nil {
+		in = &relIn{epoch: epoch, hold: map[uint64]Message{}}
+		r.in[from] = in
+	}
+	if epoch < in.epoch {
+		// A straggler from a sender incarnation that has since restarted.
+		r.mu.Unlock()
+		return
+	}
+	if epoch > in.epoch {
+		// The sender restarted: a fresh stream with fresh numbering.
+		in.epoch = epoch
+		in.next = 0
+		in.hold = map[uint64]Message{}
+	}
+	if base > in.next {
+		// Everything below the sender's outbox base was acked (to a
+		// previous incarnation of this receiver) and will never be resent:
+		// fast-forward instead of waiting forever.
+		in.next = base
+		for s := range in.hold {
+			if s < base {
+				delete(in.hold, s)
+			}
+		}
+	}
+	var deliver []Message
+	for {
+		held, ok := in.hold[in.next]
+		if !ok {
+			break
+		}
+		delete(in.hold, in.next)
+		deliver = append(deliver, stripSeq(held))
+		in.next++
+	}
+	switch {
+	case seq < in.next:
+		// Duplicate of an already-delivered message (retransmit after a
+		// lost ack, or a duplicating link): drop, but re-ack below so the
+		// sender can retire it.
+	case seq == in.next:
+		deliver = append(deliver, stripSeq(m))
+		in.next++
+		for {
+			held, ok := in.hold[in.next]
+			if !ok {
+				break
+			}
+			delete(in.hold, in.next)
+			deliver = append(deliver, stripSeq(held))
+			in.next++
+		}
+	default:
+		// A gap: buffer for in-order release; the sender's go-back-N
+		// retransmit will fill the hole even if this copy is evicted.
+		if len(in.hold) < r.opts.OutboxLimit {
+			in.hold[seq] = m
+		}
+	}
+	ack := in.next
+	inner := r.inner
+	r.mu.Unlock()
+	for _, d := range deliver {
+		r.recv(d)
+	}
+	if inner != nil {
+		inner.Send(from, Message{
+			Kind:    relAckKind,
+			Payload: map[string]string{relAckKey: strconv.FormatUint(ack, 10)},
+		})
+	}
+}
+
+// stripSeq removes the reliability metadata before delivery.
+func stripSeq(m Message) Message {
+	p := make(map[string]string, len(m.Payload))
+	for k, v := range m.Payload {
+		switch k {
+		case relSeqKey, relBaseKey, relEpochKey:
+		default:
+			p[k] = v
+		}
+	}
+	if len(p) == 0 {
+		m.Payload = nil
+	} else {
+		m.Payload = p
+	}
+	return m
+}
+
+// withBase returns a transmission copy of a buffered message stamped with
+// the sender's current outbox base.  The copy's payload is cloned so
+// concurrent retransmission rounds never mutate a map a transport is
+// still serialising.
+func withBase(m Message, base uint64) Message {
+	p := make(map[string]string, len(m.Payload)+1)
+	for k, v := range m.Payload {
+		p[k] = v
+	}
+	p[relBaseKey] = strconv.FormatUint(base, 10)
+	m.Payload = p
+	return m
+}
+
+// handleAck retires outbox entries below the cumulative ack point.
+func (r *ReliableEndpoint) handleAck(m Message) {
+	ack, err := strconv.ParseUint(m.Payload[relAckKey], 10, 64)
+	if err != nil {
+		return
+	}
+	peer := m.From
+	r.mu.Lock()
+	o := r.out[peer]
+	if o == nil || ack > o.nextSeq {
+		// No outbox, or an ack beyond anything this incarnation ever sent —
+		// a receiver still acking a previous incarnation's stream.  Ignore;
+		// the receiver resets on the next data message's higher epoch.
+		r.mu.Unlock()
+		return
+	}
+	n, fires := 0, 0
+	for len(o.q) > 0 && o.q[0].seq < ack {
+		if o.q[0].m.Kind == "fire" {
+			fires++
+		}
+		o.q = o.q[1:]
+		n++
+	}
+	var evs []LinkEvent
+	if n > 0 {
+		o.attempts = 0
+		o.lastErr = nil
+		if o.degraded {
+			o.replayed += n
+			if len(o.q) == 0 {
+				// The outage's backlog has fully replayed, in order: the
+				// link has recovered.
+				o.degraded = false
+				evs = append(evs, LinkEvent{
+					Kind: LinkRecovered, Peer: peer,
+					Messages: o.replayed, Fires: fires,
+				})
+				o.replayed = 0
+			}
+		}
+		if len(o.q) > 0 && o.timer != nil {
+			// The link is alive again; collapse any long backoff.
+			o.timer.Stop()
+			o.timer = nil
+			r.scheduleLocked(peer, o)
+		}
+	}
+	r.mu.Unlock()
+	r.emit(evs)
+}
+
+// Flush retransmits every buffered message immediately (scenario
+// teardown; the retry schedule makes this optional).
+func (r *ReliableEndpoint) Flush() error {
+	r.mu.Lock()
+	peers := make([]string, 0, len(r.out))
+	for p, o := range r.out {
+		if len(o.q) > 0 {
+			peers = append(peers, p)
+		}
+	}
+	r.mu.Unlock()
+	for _, p := range peers {
+		r.retry(p)
+	}
+	return nil
+}
+
+// Close implements Endpoint.
+func (r *ReliableEndpoint) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	for _, o := range r.out {
+		if o.timer != nil {
+			o.timer.Stop()
+			o.timer = nil
+		}
+	}
+	inner := r.inner
+	r.mu.Unlock()
+	if inner != nil {
+		return inner.Close()
+	}
+	return nil
+}
+
+var (
+	_ Endpoint = (*ReliableEndpoint)(nil)
+	_ Flusher  = (*ReliableEndpoint)(nil)
+)

@@ -1,0 +1,539 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cmtk/internal/vclock"
+)
+
+// relPair joins two shells A and B to a network and records B's inbound
+// messages in order.
+type relPair struct {
+	a    Endpoint
+	got  *[]Message
+	mu   *sync.Mutex
+	evMu sync.Mutex
+	evs  []LinkEvent
+}
+
+func joinPair(t *testing.T, n Network) *relPair {
+	t.Helper()
+	var mu sync.Mutex
+	var got []Message
+	p := &relPair{got: &got, mu: &mu}
+	if _, err := n.Join("B", func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := n.Join("A", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.a = a
+	if re, ok := a.(*ReliableEndpoint); ok {
+		re.OnLinkEvent(func(ev LinkEvent) {
+			p.evMu.Lock()
+			p.evs = append(p.evs, ev)
+			p.evMu.Unlock()
+		})
+	}
+	return p
+}
+
+func (p *relPair) seqs() []uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]uint64, len(*p.got))
+	for i, m := range *p.got {
+		out[i] = m.Trigger.Seq
+	}
+	return out
+}
+
+func (p *relPair) events(kind LinkEventKind) []LinkEvent {
+	p.evMu.Lock()
+	defer p.evMu.Unlock()
+	var out []LinkEvent
+	for _, ev := range p.evs {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func wantInOrder(t *testing.T, seqs []uint64, n int) {
+	t.Helper()
+	if len(seqs) != n {
+		t.Fatalf("delivered %d messages, want %d: %v", len(seqs), n, seqs)
+	}
+	for i, s := range seqs {
+		if s != uint64(i) {
+			t.Fatalf("out of order at %d: %v", i, seqs)
+		}
+	}
+}
+
+func fireMsg(i int) Message {
+	return Message{Kind: "fire", Rule: "r", Trigger: EventRef{Seq: uint64(i)},
+		Payload: map[string]string{"k": fmt.Sprint(i)}}
+}
+
+func TestReliableBasicDelivery(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	rel := NewReliable(NewBus(clk, 10*time.Millisecond),
+		ReliableOptions{Clock: clk, RetryInterval: time.Second})
+	p := joinPair(t, rel)
+	for i := 0; i < 5; i++ {
+		if err := p.a.Send("B", fireMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(time.Second)
+	wantInOrder(t, p.seqs(), 5)
+	// The sequencing metadata is stripped before delivery, user payload kept.
+	p.mu.Lock()
+	for i, m := range *p.got {
+		if _, ok := m.Payload[relSeqKey]; ok {
+			t.Fatalf("rel.seq leaked to receiver: %v", m.Payload)
+		}
+		if m.Payload["k"] != fmt.Sprint(i) {
+			t.Fatalf("payload lost: %v", m.Payload)
+		}
+	}
+	p.mu.Unlock()
+	// Acks flowed back and retired the outbox.
+	if n := p.a.(*ReliableEndpoint).Pending("B"); n != 0 {
+		t.Fatalf("outbox still holds %d after acks", n)
+	}
+	if evs := p.events(LinkRetry); len(evs) != 0 {
+		t.Fatalf("unexpected retries on a clean link: %v", evs)
+	}
+}
+
+func TestReliableRetransmitsThroughDrops(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	flaky := NewFlaky(NewBus(clk, 10*time.Millisecond),
+		FlakyOptions{Clock: clk, Seed: 7, Drop: 0.4})
+	rel := NewReliable(flaky, ReliableOptions{Clock: clk, RetryInterval: 100 * time.Millisecond, Seed: 7})
+	p := joinPair(t, rel)
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := p.a.Send("B", fireMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(time.Minute)
+	wantInOrder(t, p.seqs(), n)
+	if n := p.a.(*ReliableEndpoint).Pending("B"); n != 0 {
+		t.Fatalf("outbox still holds %d", n)
+	}
+	if evs := p.events(LinkRetry); len(evs) == 0 {
+		t.Fatal("40% drop produced no retransmissions")
+	}
+}
+
+func TestReliableDedupsDuplicates(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	flaky := NewFlaky(NewBus(clk, 10*time.Millisecond),
+		FlakyOptions{Clock: clk, Seed: 3, Duplicate: 1.0})
+	rel := NewReliable(flaky, ReliableOptions{Clock: clk, RetryInterval: 100 * time.Millisecond})
+	p := joinPair(t, rel)
+	const n = 20
+	for i := 0; i < n; i++ {
+		p.a.Send("B", fireMsg(i))
+	}
+	clk.Advance(10 * time.Second)
+	// Every copy crossed the link twice; the receiver saw each effect once.
+	wantInOrder(t, p.seqs(), n)
+}
+
+func TestReliableReordersDelayedCopies(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	// Half the messages take an extra 200ms — far more than the 10ms base
+	// latency — so raw arrival order is scrambled; the reorder buffer must
+	// restore send order.
+	flaky := NewFlaky(NewBus(clk, 10*time.Millisecond),
+		FlakyOptions{Clock: clk, Seed: 11, Delay: 0.5, DelayBy: 200 * time.Millisecond})
+	rel := NewReliable(flaky, ReliableOptions{Clock: clk, RetryInterval: 5 * time.Second})
+	p := joinPair(t, rel)
+	const n = 30
+	for i := 0; i < n; i++ {
+		p.a.Send("B", fireMsg(i))
+	}
+	clk.Advance(time.Minute)
+	wantInOrder(t, p.seqs(), n)
+}
+
+func TestReliablePartitionHealOrderedReplay(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	flaky := NewFlaky(NewBus(clk, 10*time.Millisecond), FlakyOptions{Clock: clk})
+	rel := NewReliable(flaky, ReliableOptions{
+		Clock: clk, RetryInterval: 100 * time.Millisecond,
+		MaxBackoff: 400 * time.Millisecond, FailThreshold: 2,
+	})
+	p := joinPair(t, rel)
+	p.a.Send("B", fireMsg(0))
+	clk.Advance(time.Second)
+	wantInOrder(t, p.seqs(), 1)
+
+	flaky.PartitionBoth("A", "B")
+	for i := 1; i < 6; i++ {
+		p.a.Send("B", fireMsg(i))
+	}
+	clk.Advance(5 * time.Second)
+	wantInOrder(t, p.seqs(), 1) // nothing crossed the partition
+	if evs := p.events(LinkDegraded); len(evs) != 1 {
+		t.Fatalf("degraded events = %v", evs)
+	} else if ev := evs[0]; ev.Peer != "B" || ev.Fires == 0 {
+		t.Fatalf("degraded event = %+v", ev)
+	}
+	re := p.a.(*ReliableEndpoint)
+	if n := re.Pending("B"); n != 5 {
+		t.Fatalf("outbox holds %d during outage, want 5", n)
+	}
+
+	flaky.HealAll()
+	clk.Advance(5 * time.Second)
+	wantInOrder(t, p.seqs(), 6) // replayed in order, no duplicates
+	if n := re.Pending("B"); n != 0 {
+		t.Fatalf("outbox holds %d after heal", n)
+	}
+	recov := p.events(LinkRecovered)
+	if len(recov) != 1 || recov[0].Messages != 5 {
+		t.Fatalf("recovered events = %v", recov)
+	}
+}
+
+func TestReliableOutboxOverflow(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	flaky := NewFlaky(NewBus(clk, 10*time.Millisecond), FlakyOptions{Clock: clk})
+	rel := NewReliable(flaky, ReliableOptions{
+		Clock: clk, RetryInterval: 100 * time.Millisecond, OutboxLimit: 3,
+	})
+	p := joinPair(t, rel)
+	flaky.PartitionBoth("A", "B")
+	for i := 0; i < 5; i++ {
+		if err := p.a.Send("B", fireMsg(i)); err != nil {
+			t.Fatal(err) // overflow surfaces as an event, not an error
+		}
+	}
+	if evs := p.events(LinkOverflow); len(evs) != 2 {
+		t.Fatalf("overflow events = %v", evs)
+	}
+	// The three buffered messages still replay after heal.
+	flaky.HealAll()
+	clk.Advance(5 * time.Second)
+	wantInOrder(t, p.seqs(), 3)
+}
+
+func TestReliableRetryBudgetExhaustion(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	flaky := NewFlaky(NewBus(clk, 10*time.Millisecond), FlakyOptions{Clock: clk})
+	rel := NewReliable(flaky, ReliableOptions{
+		Clock: clk, RetryInterval: 100 * time.Millisecond,
+		MaxBackoff: 100 * time.Millisecond, RetryBudget: 4,
+	})
+	p := joinPair(t, rel)
+	flaky.PartitionBoth("A", "B")
+	p.a.Send("B", fireMsg(0))
+	clk.Advance(time.Minute)
+	gave := p.events(LinkGaveUp)
+	if len(gave) != 1 || gave[0].Messages != 1 || gave[0].Fires != 1 {
+		t.Fatalf("gave-up events = %v", gave)
+	}
+	if n := p.a.(*ReliableEndpoint).Pending("B"); n != 0 {
+		t.Fatalf("outbox holds %d after giving up", n)
+	}
+}
+
+func TestReliablePassThroughForUnsequencedPeers(t *testing.T) {
+	// A shell without the reliability layer can still talk to one with it.
+	clk := vclock.NewVirtual(vclock.Epoch)
+	bus := NewBus(clk, 10*time.Millisecond)
+	var mu sync.Mutex
+	var got []Message
+	re := NewReliableEndpoint(func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	}, ReliableOptions{Clock: clk})
+	inner, err := bus.Join("B", re.Deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Bind(inner)
+	rawA, err := bus.Join("A", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawA.Send("B", Message{Kind: "fire", Rule: "raw"})
+	clk.Advance(time.Second)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].Rule != "raw" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestFlakyPartitionWithoutReliabilityLosesMessages(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	flaky := NewFlaky(NewBus(clk, 10*time.Millisecond), FlakyOptions{Clock: clk})
+	p := joinPair(t, flaky)
+	flaky.Partition("A", "B")
+	// The outage is silent: sends succeed, nothing arrives — even after heal.
+	if err := p.a.Send("B", fireMsg(0)); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	flaky.Heal("A", "B")
+	clk.Advance(time.Second)
+	if n := len(p.seqs()); n != 0 {
+		t.Fatalf("raw link delivered %d messages across a partition", n)
+	}
+	p.a.Send("B", fireMsg(1))
+	clk.Advance(time.Second)
+	if seqs := p.seqs(); len(seqs) != 1 || seqs[0] != 1 {
+		t.Fatalf("after heal got %v", seqs)
+	}
+}
+
+// TestReliableTCPCrashRecovery crashes the receiving TCP endpoint
+// mid-stream and rebinds a fresh one into the same ReliableEndpoint: the
+// sender's outbox replays across the outage and the receiver's dedup
+// state guarantees exactly-once effect, in order.
+func TestReliableTCPCrashRecovery(t *testing.T) {
+	var mu sync.Mutex
+	var got []Message
+	relB := NewReliableEndpoint(func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	}, ReliableOptions{RetryInterval: 20 * time.Millisecond})
+	defer relB.Close()
+	tcpB, err := NewTCP("B", "127.0.0.1:0", nil, relB.Deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAddr := tcpB.Addr()
+
+	relA := NewReliableEndpoint(func(Message) {}, ReliableOptions{RetryInterval: 20 * time.Millisecond})
+	defer relA.Close()
+	tcpA, err := NewTCP("A", "127.0.0.1:0", map[string]string{"B": bAddr}, relA.Deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relA.Bind(tcpA)
+	relB.Bind(tcpB)
+	// B needs A's address for acks.
+	tcpB.addrs = map[string]string{"A": tcpA.Addr()}
+
+	waitFor := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			mu.Lock()
+			have := len(got)
+			mu.Unlock()
+			if have >= n {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("only %d of %d messages arrived", have, n)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	for i := 0; i < 5; i++ {
+		if err := relA.Send("B", fireMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(5)
+
+	// Crash B's transport mid-stream; the reliable state survives.
+	tcpB.Close()
+	for i := 5; i < 10; i++ {
+		if err := relA.Send("B", fireMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond) // let retries fail against the dead port
+
+	// B restarts on the same address with the same reliable endpoint.
+	tcpB2, err := NewTCP("B", bAddr, map[string]string{"A": tcpA.Addr()}, relB.Deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcpB2.Close()
+	relB.Bind(tcpB2)
+
+	waitFor(10)
+	// Exactly once, in order — retransmitted copies were deduplicated.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 10 {
+		t.Fatalf("delivered %d messages, want exactly 10", len(got))
+	}
+	for i, m := range got {
+		if m.Trigger.Seq != uint64(i) {
+			t.Fatalf("out of order at %d: %v", i, got)
+		}
+	}
+	// The sender's outbox drains once acks resume.
+	deadline := time.Now().Add(5 * time.Second)
+	mu.Unlock()
+	for relA.Pending("B") != 0 {
+		if time.Now().After(deadline) {
+			mu.Lock()
+			t.Fatalf("outbox never drained: %d pending", relA.Pending("B"))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+}
+
+// A receiver process restart loses the endpoint AND its reliability state
+// (dedup, expected sequence).  The outbox base stamped on retransmits
+// lets the fresh receiver fast-forward past the messages its predecessor
+// acked and resume the stream mid-way instead of waiting forever.
+func TestReliableReceiverProcessRestartResumesStream(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	bus := NewBus(clk, 10*time.Millisecond)
+	relB := NewReliableEndpoint(func(Message) {}, ReliableOptions{Clock: clk, RetryInterval: time.Second})
+	epB, err := bus.Join("B", relB.Deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relB.Bind(epB)
+	relA := NewReliableEndpoint(func(Message) {}, ReliableOptions{Clock: clk, RetryInterval: time.Second})
+	epA, err := bus.Join("A", relA.Deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relA.Bind(epA)
+
+	// Three messages delivered and acked to B's first incarnation.
+	for i := 0; i < 3; i++ {
+		if err := relA.Send("B", fireMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(time.Second)
+	if n := relA.Pending("B"); n != 0 {
+		t.Fatalf("pending before crash = %d", n)
+	}
+
+	// B's process dies: endpoint, dedup state and expected seq all gone.
+	epB.Close()
+	for i := 3; i < 5; i++ {
+		if err := relA.Send("B", fireMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(3 * time.Second) // retries fail into the void
+
+	// B restarts from scratch with empty link state.
+	var mu sync.Mutex
+	var got []Message
+	relB2 := NewReliableEndpoint(func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	}, ReliableOptions{Clock: clk, RetryInterval: time.Second})
+	epB2, err := bus.Join("B", relB2.Deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relB2.Bind(epB2)
+	clk.Advance(time.Minute)
+
+	mu.Lock()
+	seqs := make([]uint64, len(got))
+	for i, m := range got {
+		seqs[i] = m.Trigger.Seq
+	}
+	mu.Unlock()
+	if len(seqs) != 2 || seqs[0] != 3 || seqs[1] != 4 {
+		t.Fatalf("restarted receiver got %v, want the two outage messages [3 4]", seqs)
+	}
+	if n := relA.Pending("B"); n != 0 {
+		t.Fatalf("outbox never drained after receiver restart: %d pending", n)
+	}
+}
+
+// A sender process restart begins a fresh stream numbered from zero.  The
+// incarnation epoch stamped on data messages makes the receiver reset its
+// link state and accept the new numbering instead of discarding the whole
+// stream as duplicates of the old one.
+func TestReliableSenderProcessRestartResetsReceiver(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	bus := NewBus(clk, 10*time.Millisecond)
+	var mu sync.Mutex
+	var got []Message
+	relB := NewReliableEndpoint(func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	}, ReliableOptions{Clock: clk, RetryInterval: time.Second})
+	epB, err := bus.Join("B", relB.Deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relB.Bind(epB)
+
+	relA := NewReliableEndpoint(func(Message) {}, ReliableOptions{Clock: clk, RetryInterval: time.Second})
+	epA, err := bus.Join("A", relA.Deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relA.Bind(epA)
+	for i := 0; i < 3; i++ {
+		if err := relA.Send("B", fireMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(time.Second)
+
+	// A dies and restarts strictly later: a higher incarnation epoch.
+	epA.Close()
+	clk.Advance(time.Second)
+	relA2 := NewReliableEndpoint(func(Message) {}, ReliableOptions{Clock: clk, RetryInterval: time.Second})
+	epA2, err := bus.Join("A", relA2.Deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relA2.Bind(epA2)
+	for i := 0; i < 2; i++ {
+		if err := relA2.Send("B", fireMsg(10+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(time.Minute)
+
+	mu.Lock()
+	seqs := make([]uint64, len(got))
+	for i, m := range got {
+		seqs[i] = m.Trigger.Seq
+	}
+	mu.Unlock()
+	want := []uint64{0, 1, 2, 10, 11}
+	if len(seqs) != len(want) {
+		t.Fatalf("delivered %v, want %v", seqs, want)
+	}
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", seqs, want)
+		}
+	}
+	if n := relA2.Pending("B"); n != 0 {
+		t.Fatalf("restarted sender outbox never drained: %d pending", n)
+	}
+}

@@ -9,30 +9,43 @@ import (
 )
 
 // TCP is a mesh endpoint over real sockets.  Each shell listens on its
-// own address and dials peers lazily, keeping one connection per peer;
-// the wire layer processes messages on a connection strictly in order, so
-// links are FIFO per (sender, receiver) pair like the in-process Bus.
+// own address and dials peers lazily, keeping one connection per peer.
+// Inbound frames are acknowledged at the wire layer immediately and
+// handed to a per-sender FIFO worker, so links stay ordered per (sender,
+// receiver) pair like the in-process Bus while the receive callback never
+// blocks the wire reply.  The decoupling matters: a handler that sends
+// back to its peer while still inside the inbound frame (an ack arriving
+// mid-request, a recovery broadcast) would otherwise form a cycle of
+// requests each awaiting a reply the other side can only produce after
+// its own nested send completes — a distributed deadlock broken only by
+// request timeouts.
 type TCP struct {
-	shellID string
-	addrs   map[string]string           // shellID -> address
-	resolve func(string) (string, bool) // dynamic lookup when addrs is nil
-	recv    func(Message)
-	srv     *wire.Server
-	mu      sync.Mutex
-	peers   map[string]*wire.Client
-	closed  bool
+	shellID  string
+	addrs    map[string]string           // shellID -> address
+	resolve  func(string) (string, bool) // dynamic lookup when addrs is nil
+	recv     func(Message)
+	dialOpts []wire.DialOption
+	srv      *wire.Server
+	done     chan struct{}
+	mu       sync.Mutex
+	peers    map[string]*wire.Client
+	inbox    map[string]chan Message // per-sender serial delivery queues
+	closed   bool
 }
 
 // NewTCP starts a TCP endpoint for shellID listening on listenAddr.
 // addrs maps every peer shell ID to its address (the routing table
 // established "during initialization", Section 4.1).  recv is invoked for
-// each inbound message.
-func NewTCP(shellID, listenAddr string, addrs map[string]string, recv func(Message)) (*TCP, error) {
+// each inbound message.  dialOpts tune the peer connections (timeouts).
+func NewTCP(shellID, listenAddr string, addrs map[string]string, recv func(Message), dialOpts ...wire.DialOption) (*TCP, error) {
 	t := &TCP{
-		shellID: shellID,
-		addrs:   addrs,
-		recv:    recv,
-		peers:   map[string]*wire.Client{},
+		shellID:  shellID,
+		addrs:    addrs,
+		recv:     recv,
+		dialOpts: dialOpts,
+		done:     make(chan struct{}),
+		peers:    map[string]*wire.Client{},
+		inbox:    map[string]chan Message{},
 	}
 	srv, err := wire.Serve(listenAddr, tcpHandler{t})
 	if err != nil {
@@ -61,11 +74,44 @@ func (s tcpSession) Handle(m wire.Message) wire.Message {
 	if err := json.Unmarshal([]byte(m.Field("m")), &msg); err != nil {
 		return wire.ErrorReply(m, fmt.Errorf("transport: bad message: %w", err))
 	}
-	s.t.recv(msg)
+	s.t.deliver(msg)
 	return wire.Reply(m)
 }
 
 func (tcpSession) Close() {}
+
+// deliver queues an inbound message on its sender's FIFO worker.  The
+// queue is keyed by sender shell ID, not connection, so order holds even
+// across a peer's reconnects.
+func (t *TCP) deliver(m Message) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	q, ok := t.inbox[m.From]
+	if !ok {
+		q = make(chan Message, 1024)
+		t.inbox[m.From] = q
+		go t.drain(q)
+	}
+	t.mu.Unlock()
+	select {
+	case q <- m: // backpressure: a full queue blocks this sender's frames
+	case <-t.done:
+	}
+}
+
+func (t *TCP) drain(q chan Message) {
+	for {
+		select {
+		case m := <-q:
+			t.recv(m)
+		case <-t.done:
+			return
+		}
+	}
+}
 
 // Send implements Endpoint.
 func (t *TCP) Send(to string, m Message) error {
@@ -86,7 +132,7 @@ func (t *TCP) Send(to string, m Message) error {
 	c, ok := t.peers[to]
 	t.mu.Unlock()
 	if !ok {
-		nc, err := wire.Dial(addr, nil)
+		nc, err := wire.Dial(addr, nil, t.dialOpts...)
 		if err != nil {
 			return err
 		}
@@ -121,7 +167,10 @@ func (t *TCP) Send(to string, m Message) error {
 // Close implements Endpoint.
 func (t *TCP) Close() error {
 	t.mu.Lock()
-	t.closed = true
+	if !t.closed {
+		t.closed = true
+		close(t.done)
+	}
 	peers := t.peers
 	t.peers = map[string]*wire.Client{}
 	t.mu.Unlock()

@@ -287,11 +287,41 @@ type Client struct {
 	timeout time.Duration
 }
 
+// DialConfig holds the tunable connection parameters; zero fields take
+// the defaults (5s dial, 10s per request).
+type DialConfig struct {
+	DialTimeout    time.Duration
+	RequestTimeout time.Duration
+}
+
+// DialOption customises a Dial call.
+type DialOption func(*DialConfig)
+
+// WithDialTimeout bounds the TCP connection attempt.
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(c *DialConfig) { c.DialTimeout = d }
+}
+
+// WithRequestTimeout bounds each request/response round trip.
+func WithRequestTimeout(d time.Duration) DialOption {
+	return func(c *DialConfig) { c.RequestTimeout = d }
+}
+
 // Dial connects to a toolkit server.  onPush, when non-nil, receives
 // unsolicited messages (notifications) in arrival order; it runs on the
 // client's read goroutine, so it must not block on the same client.
-func Dial(addr string, onPush func(Message)) (*Client, error) {
-	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+func Dial(addr string, onPush func(Message), opts ...DialOption) (*Client, error) {
+	cfg := DialConfig{DialTimeout: 5 * time.Second, RequestTimeout: 10 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, ris.Transient(err))
 	}
@@ -300,7 +330,7 @@ func Dial(addr string, onPush func(Message)) (*Client, error) {
 		pending: map[uint64]chan Message{},
 		onPush:  onPush,
 		closed:  make(chan struct{}),
-		timeout: 10 * time.Second,
+		timeout: cfg.RequestTimeout,
 	}
 	go c.readLoop()
 	return c, nil

@@ -212,3 +212,30 @@ func TestWithField(t *testing.T) {
 		t.Fatal("WithField mutated receiver")
 	}
 }
+
+func TestDialOptions(t *testing.T) {
+	srv := startServer(t)
+	c, err := Dial(srv.Addr(), nil,
+		WithDialTimeout(time.Second),
+		WithRequestTimeout(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.timeout != 20*time.Millisecond {
+		t.Fatalf("request timeout = %v", c.timeout)
+	}
+	// The configured request timeout governs Do: "slow" sleeps 200ms.
+	if _, err := c.Do(Message{Type: "slow"}); !ris.IsTransient(err) {
+		t.Fatalf("timeout err = %v", err)
+	}
+	// Defaults survive when no options are given.
+	c2, err := Dial(srv.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.timeout != 10*time.Second {
+		t.Fatalf("default request timeout = %v", c2.timeout)
+	}
+}
