@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	cmbench [-scale N] [-exp E1,E2,...]
+//	cmbench [-scale N] [-exp E1,E2,...] [-obs]
+//
+// -obs snapshots the process-wide metrics registry around each
+// experiment and prints the per-experiment deltas (every counter and
+// histogram series that moved), so a run doubles as an instrumentation
+// audit.  See OBSERVABILITY.md for the metric catalogue.
 package main
 
 import (
@@ -14,11 +19,13 @@ import (
 	"strings"
 
 	"cmtk/internal/harness"
+	"cmtk/internal/obs"
 )
 
 func main() {
 	scale := flag.Int("scale", 1, "workload scale factor")
 	exps := flag.String("exp", "all", "comma-separated experiment ids (E1..E12, F1, F2) or 'all'")
+	obsMode := flag.Bool("obs", false, "print per-experiment metric deltas from the obs registry")
 	flag.Parse()
 
 	runners := map[string]func() harness.Table{
@@ -53,6 +60,11 @@ func main() {
 		}
 	}
 	for _, id := range selected {
+		before := obs.Default.Snapshot()
 		fmt.Println(runners[id]())
+		if *obsMode {
+			delta := obs.Default.Snapshot().Delta(before)
+			fmt.Printf("-- %s metric deltas (%d series moved) --\n%s\n", id, len(delta), delta.Format())
+		}
 	}
 }

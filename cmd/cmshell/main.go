@@ -20,6 +20,11 @@
 // outage buffering with ordered replay); acks flow back over the mesh,
 // so every pair of communicating shells should list each other in -peer.
 // -unreliable reverts to raw fire-and-forget TCP sends.
+//
+// -metrics-addr starts the observability surface: /metrics serves the
+// process-wide registry in Prometheus text format (shell, translator,
+// and transport metrics), and /debug/traces dumps the rule-firing trace
+// ring as JSON.  See OBSERVABILITY.md for the full catalogue.
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 	"time"
 
 	"cmtk/internal/cmi"
+	"cmtk/internal/obs"
 	"cmtk/internal/rid"
 	"cmtk/internal/rule"
 	"cmtk/internal/shell"
@@ -51,6 +57,7 @@ func main() {
 	specPath := flag.String("spec", "", "strategy specification file (required)")
 	listen := flag.String("listen", "127.0.0.1:0", "mesh listen address")
 	unreliable := flag.Bool("unreliable", false, "raw mesh sends: no retry, no outage buffering")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/traces on this address (empty: off)")
 	retry := flag.Duration("retry", 200*time.Millisecond, "reliable-link base retransmit interval")
 	dialTimeout := flag.Duration("dial-timeout", 5*time.Second, "mesh peer dial timeout")
 	reqTimeout := flag.Duration("req-timeout", 10*time.Second, "mesh request timeout")
@@ -72,6 +79,15 @@ func main() {
 	specFile.Close()
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *metricsAddr != "" {
+		srv, bound, err := obs.Serve(*metricsAddr, nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("cmshell: observability on http://%s (/metrics, /debug/traces)\n", bound)
 	}
 
 	sh := shell.New(*id, spec, shell.Options{})

@@ -10,7 +10,10 @@
 //	risd -kind bibstore -addr 127.0.0.1:7004 [-demo]
 //
 // -demo preloads a small employees/whois/bibliography dataset so the
-// examples can be run against live servers.
+// examples can be run against live servers.  -metrics-addr starts the
+// observability surface (/metrics in Prometheus text format, covering
+// cmtk_ris_requests_total and cmtk_ris_pushes_total; see
+// OBSERVABILITY.md).
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"cmtk/internal/obs"
 	"cmtk/internal/ris/bibstore"
 	"cmtk/internal/ris/filestore"
 	"cmtk/internal/ris/kvstore"
@@ -37,7 +41,17 @@ func main() {
 	readonly := flag.Bool("readonly", false, "serve read-only (kvstore)")
 	notify := flag.Bool("notify", true, "offer native change callbacks (kvstore)")
 	demo := flag.Bool("demo", false, "preload demo data")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/traces on this address (empty: off)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		osrv, bound, err := obs.Serve(*metricsAddr, nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer osrv.Close()
+		fmt.Printf("risd: observability on http://%s (/metrics, /debug/traces)\n", bound)
+	}
 
 	var srv *wire.Server
 	var err error

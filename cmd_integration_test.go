@@ -7,6 +7,8 @@ package cmtk_test
 import (
 	"bufio"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -139,8 +141,10 @@ interface WR(salary2(n), b) ->3s W(salary2(n), b)
 
 	scShA, stopShA := startProc(t, filepath.Join(bin, "cmshell"),
 		"-id", "shellA", "-spec", specPath, "-rid", ridAPath,
-		"-peer", "shellB="+shBAddr, "-route", "B=shellB")
+		"-peer", "shellB="+shBAddr, "-route", "B=shellB",
+		"-metrics-addr", "127.0.0.1:0")
 	defer stopShA()
+	obsURL := strings.Fields(expectLine(t, scShA, "observability on"))[3]
 	expectLine(t, scShA, "running")
 
 	// An application updates the branch database directly over SQL.
@@ -160,14 +164,57 @@ interface WR(salary2(n), b) ->3s W(salary2(n), b)
 	}
 	defer appB.Close()
 	deadline := time.Now().Add(20 * time.Second)
-	for time.Now().Before(deadline) {
+	propagated := false
+	for !propagated && time.Now().Before(deadline) {
 		res, err := appB.Exec("SELECT salary FROM employees WHERE empid = 'e1'")
 		if err == nil && len(res.Rows) == 1 && res.Rows[0][0].Equal(data.NewInt(12345)) {
-			return
+			propagated = true
+			break
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	t.Fatal("update never propagated across processes")
+	if !propagated {
+		t.Fatal("update never propagated across processes")
+	}
+
+	// Shell A's -metrics-addr surface must expose valid Prometheus text
+	// covering the shell, translator, and transport layers.
+	resp, err := http.Get(obsURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	scrape, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`cmtk_shell_fires_total{shell="shellA",scope="remote"}`,
+		`cmtk_translator_ops_total{site="A",op="notify"}`,
+		`cmtk_transport_sends_total{peer="shellB"}`,
+		"# TYPE cmtk_shell_fire_latency_seconds histogram",
+	} {
+		if !strings.Contains(string(scrape), want) {
+			t.Errorf("/metrics missing %q; scrape:\n%s", want, scrape)
+		}
+	}
+
+	// The firing left structured hop records in /debug/traces.
+	resp2, err := http.Get(obsURL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	traces, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(traces), `"outcome": "sent"`) || !strings.Contains(string(traces), `"rule": "prop"`) {
+		t.Errorf("/debug/traces missing sent hop for rule prop:\n%s", traces)
+	}
 }
 
 func writeFile(t *testing.T, path, content string) {

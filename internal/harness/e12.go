@@ -124,7 +124,7 @@ func E12(updates int) Table {
 		var replayed uint64
 		for _, name := range []string{"shell-A", "shell-B"} {
 			if sh, ok := tk.Shell(name); ok {
-				replayed += sh.Stats().ReplayedSends
+				replayed += sh.Delivery().ReplayedSends
 			}
 		}
 		res, _ := dbB.Exec("SELECT salary FROM employees WHERE empid = 'e1'")

@@ -1,0 +1,36 @@
+// Package obs is the toolkit's observability layer: a dependency-free
+// metrics registry and a structured trace stream for rule firings, shared
+// by every component from the CM-Shells down to the transports and the
+// Raw Information Source servers.
+//
+// The paper's guarantees are statements an operator must be able to
+// audit — staleness bounds, failure classifications, message counts — so
+// the same counters that the evaluation harness reads (cmbench -obs) are
+// the ones a production deployment scrapes over HTTP.  Three instrument
+// kinds cover the toolkit's needs:
+//
+//   - Counter: a monotone uint64 (events recorded, fires sent, retries).
+//   - Gauge: an instantaneous int64 (outbox depth).
+//   - Histogram: fixed-bucket latency recording (fire-to-execution delay).
+//
+// All three are updated with single atomic operations; label lookup
+// happens once, when a component acquires its handles, so the hot path
+// performs no allocation and takes no lock.  Families are registered
+// idempotently by name: two shells asking for cmtk_shell_events_total get
+// the same family, and each label combination ("series") is a distinct
+// atomically-updated cell.
+//
+// The Default registry is the process-wide instance every component uses
+// unless configured otherwise; DefaultRing likewise collects FireTrace
+// records for rule firings (matched → dispatched → executed hops with
+// timestamps and outcome).  Handler exposes both over HTTP:
+//
+//	/metrics        Prometheus text exposition format (version 0.0.4)
+//	/debug/traces   JSON dump of the firing-trace ring buffer
+//
+// cmd/cmshell and cmd/risd serve this surface behind -metrics-addr;
+// cmd/cmbench snapshots Default around each experiment (-obs) and prints
+// the per-experiment deltas.  OBSERVABILITY.md at the repository root
+// catalogues every metric name, label, and trace field, and walks through
+// diagnosing a stale replica and a degraded link from this surface alone.
+package obs

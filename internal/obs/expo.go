@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by
+// label values, histograms with cumulative le buckets plus _sum and
+// _count.  The output is deterministic for a given registry state.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.RUnlock()
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.snapshotSeries() {
+			switch f.kind {
+			case KindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, labelPairs(f.labels, s.labelVals, "", ""), s.val.Load())
+			case KindGauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, labelPairs(f.labels, s.labelVals, "", ""), int64(s.val.Load()))
+			case KindHistogram:
+				cum := uint64(0)
+				for i, bound := range f.buckets {
+					cum += s.counts[i].Load()
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+						labelPairs(f.labels, s.labelVals, "le", formatFloat(bound)), cum)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+					labelPairs(f.labels, s.labelVals, "le", "+Inf"), s.count.Load())
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name,
+					labelPairs(f.labels, s.labelVals, "", ""), formatFloat(math.Float64frombits(s.sum.Load())))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name,
+					labelPairs(f.labels, s.labelVals, "", ""), s.count.Load())
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// labelPairs renders {k1="v1",...}; extraKey/extraVal append a synthetic
+// label (le for histogram buckets).  Empty when there are no labels.
+func labelPairs(keys, vals []string, extraKey, extraVal string) string {
+	if len(keys) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Snapshot is a point-in-time numeric view of a registry, keyed by the
+// exposition series identity (name{labels}).  Histograms contribute their
+// _count and _sum series; buckets are omitted.
+type Snapshot map[string]float64
+
+// Snapshot captures every counter, gauge, and histogram count/sum.
+func (r *Registry) Snapshot() Snapshot {
+	out := Snapshot{}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	for _, f := range fams {
+		for _, s := range f.snapshotSeries() {
+			lp := labelPairs(f.labels, s.labelVals, "", "")
+			switch f.kind {
+			case KindCounter:
+				out[f.name+lp] = float64(s.val.Load())
+			case KindGauge:
+				out[f.name+lp] = float64(int64(s.val.Load()))
+			case KindHistogram:
+				out[f.name+"_count"+lp] = float64(s.count.Load())
+				out[f.name+"_sum"+lp] = math.Float64frombits(s.sum.Load())
+			}
+		}
+	}
+	return out
+}
+
+// Delta returns s minus prev, keeping only series that changed (or are
+// new and non-zero).  Counters yield the activity in the interval;
+// gauges yield their net movement.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{}
+	for k, v := range s {
+		if d := v - prev[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// Sum totals every series of the named family (all label combinations).
+func (s Snapshot) Sum(name string) float64 {
+	total := 0.0
+	for k, v := range s {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			total += v
+		}
+	}
+	return total
+}
+
+// Format renders the snapshot as sorted "series value" lines, one per
+// entry — the shape cmbench -obs prints per experiment.
+func (s Snapshot) Format() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %s\n", k, formatFloat(s[k]))
+	}
+	return b.String()
+}

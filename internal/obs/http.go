@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Handler serves the observability surface for a registry and a firing-
+// trace ring (nil means Default/DefaultRing):
+//
+//	/metrics        Prometheus text exposition
+//	/debug/traces   JSON dump of the firing-trace ring
+//	/               a plain-text index of the two
+func Handler(reg *Registry, ring *Ring) http.Handler {
+	if reg == nil {
+		reg = Default
+	}
+	if ring == nil {
+		ring = DefaultRing
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		ring.WriteJSON(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "cmtk observability\n\n/metrics\n/debug/traces")
+	})
+	return mux
+}
+
+// Serve starts the observability surface on addr (":0" for an ephemeral
+// port) in a background goroutine and returns the server plus the bound
+// address.  Close the returned server to stop it.
+func Serve(addr string, reg *Registry, ring *Ring) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg, ring)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

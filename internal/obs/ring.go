@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Firing outcomes recorded in FireTrace.Outcome.
+const (
+	// OutcomeLocal: the rule's RHS site is hosted by the matching shell;
+	// the firing was queued for local execution.
+	OutcomeLocal = "local"
+	// OutcomeSent: the firing was handed to the transport for a remote
+	// shell.
+	OutcomeSent = "sent"
+	// OutcomeExecuted: a shell ran the rule's RHS (the terminal hop of
+	// both local and remote firings).
+	OutcomeExecuted = "executed"
+	// OutcomeDropped: a raw endpoint rejected the send and the firing is
+	// lost for good.
+	OutcomeDropped = "dropped"
+)
+
+// FireTrace is one structured record of a rule-firing hop.  A local
+// firing produces a "local" record then an "executed" record; a remote
+// firing produces "sent" at the matching shell and "executed" at the
+// target.  ID is assigned by the ring, monotone per process, so an
+// operator can correlate /debug/traces dumps across scrapes.
+type FireTrace struct {
+	ID      uint64 `json:"id"`
+	Rule    string `json:"rule"`
+	Shell   string `json:"shell"`            // shell recording the hop
+	Site    string `json:"site"`             // LHS (trigger) site
+	Target  string `json:"target,omitempty"` // destination shell for sent/dropped
+	Outcome string `json:"outcome"`
+	Trigger string `json:"trigger,omitempty"` // trigger event descriptor
+	Seq     uint64 `json:"seq,omitempty"`     // trigger event sequence number
+
+	// Hop timestamps on the recording shell's clock: Matched is the
+	// trigger event time, Dispatched when the firing left the matcher,
+	// Executed when the RHS ran.  Zero values mean the hop did not happen
+	// on this record.
+	Matched    time.Time `json:"matched,omitempty"`
+	Dispatched time.Time `json:"dispatched,omitempty"`
+	Executed   time.Time `json:"executed,omitempty"`
+}
+
+// Ring is a bounded buffer of the most recent FireTrace records.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []FireTrace
+	cap   int
+	next  int    // buf write position
+	total uint64 // records ever written, also the ID source
+}
+
+// NewRing creates a ring keeping the last capacity records (<=0 means
+// 1024).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Ring{buf: make([]FireTrace, 0, capacity), cap: capacity}
+}
+
+// DefaultRing is the process-wide firing-trace buffer, the companion of
+// the Default registry.
+var DefaultRing = NewRing(4096)
+
+// Record appends a trace record, assigning and returning its ID.
+func (r *Ring) Record(ev FireTrace) uint64 {
+	r.mu.Lock()
+	r.total++
+	ev.ID = r.total
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next] = ev
+	}
+	r.next = (r.next + 1) % r.cap
+	r.mu.Unlock()
+	return ev.ID
+}
+
+// Events returns the buffered records, oldest first.
+func (r *Ring) Events() []FireTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < r.cap {
+		// Not yet wrapped: everything is in write order already.
+		return append([]FireTrace(nil), r.buf...)
+	}
+	out := make([]FireTrace, 0, r.cap)
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Total reports how many records were ever written (IDs run 1..Total).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// ringDump is the /debug/traces JSON shape.
+type ringDump struct {
+	Total    uint64      `json:"total"`
+	Capacity int         `json:"capacity"`
+	Events   []FireTrace `json:"events"`
+}
+
+// WriteJSON dumps the ring as one JSON document: total records ever
+// written, the ring capacity, and the retained events oldest-first.
+func (r *Ring) WriteJSON(w io.Writer) error {
+	d := ringDump{Total: r.Total(), Capacity: r.cap, Events: r.Events()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"cmtk/internal/obs"
+	"cmtk/internal/wire"
+)
+
+// instrument wraps a dialect handler so every request and server push is
+// counted in obs.Default: cmtk_ris_requests_total{kind,type,status} and
+// cmtk_ris_pushes_total{kind}.  The decorator is transparent — sessions
+// and the push callback pass straight through to the dialect handler.
+func instrument(kind string, inner wire.Handler) wire.Handler {
+	return obsHandler{
+		inner: inner,
+		kind:  kind,
+		reqs: obs.Default.Counter("cmtk_ris_requests_total",
+			"RIS server requests, by dialect, request type, and reply status.",
+			"kind", "type", "status"),
+		pushes: obs.Default.Counter("cmtk_ris_pushes_total",
+			"Server-initiated push messages (trigger and watch notifications), by dialect.",
+			"kind").With(kind),
+	}
+}
+
+type obsHandler struct {
+	inner  wire.Handler
+	kind   string
+	reqs   *obs.CounterVec
+	pushes *obs.Counter
+}
+
+func (h obsHandler) NewSession(push func(wire.Message) error) (wire.Session, error) {
+	s, err := h.inner.NewSession(func(m wire.Message) error {
+		h.pushes.Inc()
+		return push(m)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return obsSession{inner: s, h: h}, nil
+}
+
+type obsSession struct {
+	inner wire.Session
+	h     obsHandler
+}
+
+func (s obsSession) Handle(m wire.Message) wire.Message {
+	reply := s.inner.Handle(m)
+	status := "ok"
+	if reply.Type == "error" {
+		status = "error"
+	}
+	s.h.reqs.With(s.h.kind, m.Type, status).Inc()
+	return reply
+}
+
+func (s obsSession) Close() { s.inner.Close() }

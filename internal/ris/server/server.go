@@ -28,7 +28,7 @@ type relHandler struct{ db *relstore.DB }
 
 // ServeRel serves db over TCP at addr (":0" for ephemeral).
 func ServeRel(addr string, db *relstore.DB) (*wire.Server, error) {
-	return wire.Serve(addr, relHandler{db})
+	return wire.Serve(addr, instrument("rel", relHandler{db}))
 }
 
 func (h relHandler) NewSession(push func(wire.Message) error) (wire.Session, error) {
@@ -139,7 +139,7 @@ type kvHandler struct{ s *kvstore.Store }
 
 // ServeKV serves a directory store over TCP.
 func ServeKV(addr string, s *kvstore.Store) (*wire.Server, error) {
-	return wire.Serve(addr, kvHandler{s})
+	return wire.Serve(addr, instrument("kv", kvHandler{s}))
 }
 
 func (h kvHandler) NewSession(push func(wire.Message) error) (wire.Session, error) {
@@ -228,7 +228,7 @@ type fileHandler struct{ s *filestore.Store }
 
 // ServeFile serves a filestore over TCP.
 func ServeFile(addr string, s *filestore.Store) (*wire.Server, error) {
-	return wire.Serve(addr, fileHandler{s})
+	return wire.Serve(addr, instrument("file", fileHandler{s}))
 }
 
 func (h fileHandler) NewSession(func(wire.Message) error) (wire.Session, error) {
@@ -284,7 +284,7 @@ type bibHandler struct{ s *bibstore.Store }
 
 // ServeBib serves a bibliography over TCP.
 func ServeBib(addr string, s *bibstore.Store) (*wire.Server, error) {
-	return wire.Serve(addr, bibHandler{s})
+	return wire.Serve(addr, instrument("bib", bibHandler{s}))
 }
 
 func (h bibHandler) NewSession(func(wire.Message) error) (wire.Session, error) {

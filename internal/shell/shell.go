@@ -1,16 +1,3 @@
-// Package shell implements the CM-Shell (Figures 1 and 2): a
-// general-purpose distributed rule engine configured by a Strategy
-// Specification.  Each shell hosts one or more sites (a site without its
-// own shell is hosted by a peer, as for Site 3 in Figure 1), owns the
-// strategy rules whose left-hand-side events occur at its sites, keeps
-// CM-private data items for use in strategies, generates periodic events,
-// routes rule firings to the shells owning the right-hand-side sites, and
-// propagates interface failures so guarantees can be marked invalid
-// (Section 5).
-//
-// Every event that flows through a shell is recorded to a trace, so a
-// deployment can be re-validated against the Appendix A.2 execution
-// properties and its guarantees checked after the fact.
 package shell
 
 import (
@@ -21,6 +8,7 @@ import (
 	"cmtk/internal/cmi"
 	"cmtk/internal/data"
 	"cmtk/internal/event"
+	"cmtk/internal/obs"
 	"cmtk/internal/rule"
 	"cmtk/internal/trace"
 	"cmtk/internal/transport"
@@ -39,6 +27,12 @@ type Options struct {
 	// LHS and dispatching its RHS, modelling CM load.  It must be well
 	// under the smallest rule δ for metric guarantees to hold.
 	FireDelay time.Duration
+	// Metrics is the registry the shell's counters land in; nil means
+	// obs.Default, so a deployment's shells share one scrape surface.
+	Metrics *obs.Registry
+	// Fires receives structured rule-firing trace records; nil means
+	// obs.DefaultRing.
+	Fires *obs.Ring
 }
 
 // Shell is one CM-Shell process.
@@ -86,25 +80,91 @@ type Shell struct {
 	failureFns []func(cmi.Failure)
 	custom     map[string]func(transport.Message)
 
-	// remote-fire delivery counters (Stats)
-	statMu sync.Mutex
-	stats  Stats
+	// observability handles, resolved once at construction (atomic on the
+	// hot path; see package obs)
+	m shellMetrics
 }
 
-// Stats counts the shell's remote-fire delivery outcomes.
-type Stats struct {
+// shellMetrics bundles the shell's pre-resolved obs handles plus the
+// counter values at construction, so Delivery() reports per-instance
+// deltas even though series are shared by shell ID across instances.
+type shellMetrics struct {
+	events       *obs.Counter
+	matches      *obs.Counter
+	localFires   *obs.Counter
+	remoteFires  *obs.Counter
+	recvFires    *obs.Counter
+	droppedFires *obs.Counter
+	retriedFires *obs.Counter
+	replayed     *obs.Counter
+	failMetric   *obs.Counter
+	failLogical  *obs.Counter
+	latency      *obs.Histogram
+	ring         *obs.Ring
+	base         DeliveryCounts
+}
+
+// DeliveryCounts is a point-in-time view of one shell instance's
+// remote-fire delivery counters — the programmatic face of the
+// cmtk_shell_* registry metrics (and the replacement for the removed
+// ad-hoc Stats plumbing).
+type DeliveryCounts struct {
 	// RemoteFires is the number of rule firings handed to the transport
-	// for a remote shell.
+	// for a remote shell (cmtk_shell_fires_total{scope="remote"}).
 	RemoteFires uint64
 	// DroppedFires counts remote firings lost for good: raw-endpoint send
-	// errors, reliable-link outbox overflow, or retry-budget exhaustion.
+	// errors, reliable-link outbox overflow, or retry-budget exhaustion
+	// (cmtk_shell_remote_fires_dropped_total).
 	DroppedFires uint64
 	// RetriedFires counts firing retransmissions by the reliability layer
-	// (the same firing may be retried more than once).
+	// (cmtk_shell_remote_fires_retried_total; the same firing may be
+	// retried more than once).
 	RetriedFires uint64
 	// ReplayedSends is the number of buffered messages replayed in order
-	// and acknowledged after a degraded link recovered.
+	// and acknowledged after a degraded link recovered
+	// (cmtk_shell_replayed_sends_total).
 	ReplayedSends uint64
+}
+
+// newShellMetrics resolves the per-shell obs handles.
+func newShellMetrics(reg *obs.Registry, ring *obs.Ring, id string) shellMetrics {
+	if reg == nil {
+		reg = obs.Default
+	}
+	if ring == nil {
+		ring = obs.DefaultRing
+	}
+	fires := reg.Counter("cmtk_shell_fires_total",
+		"Rule firings by scope: dispatched locally, sent to a remote shell, or received from one.",
+		"shell", "scope")
+	m := shellMetrics{
+		events: reg.Counter("cmtk_shell_events_total",
+			"Events recorded to the shell's trace.", "shell").With(id),
+		matches: reg.Counter("cmtk_shell_rule_matches_total",
+			"LHS matches whose condition passed (each becomes a firing).", "shell").With(id),
+		localFires:  fires.With(id, "local"),
+		remoteFires: fires.With(id, "remote"),
+		recvFires:   fires.With(id, "received"),
+		droppedFires: reg.Counter("cmtk_shell_remote_fires_dropped_total",
+			"Remote firings lost for good: raw send errors, outbox overflow, retry-budget exhaustion.", "shell").With(id),
+		retriedFires: reg.Counter("cmtk_shell_remote_fires_retried_total",
+			"Firing retransmissions by the reliability layer.", "shell").With(id),
+		replayed: reg.Counter("cmtk_shell_replayed_sends_total",
+			"Buffered messages replayed in order and acknowledged after a degraded link recovered.", "shell").With(id),
+		failMetric: reg.Counter("cmtk_shell_failures_total",
+			"Interface failures observed (local and propagated), by Section 5 kind.", "shell", "kind").With(id, "metric"),
+		latency: reg.Histogram("cmtk_shell_fire_latency_seconds",
+			"Delay from trigger event to RHS execution, on the shell clock.", nil, "shell").With(id),
+		ring: ring,
+	}
+	m.failLogical = reg.Counter("cmtk_shell_failures_total", "", "shell", "kind").With(id, "logical")
+	m.base = DeliveryCounts{
+		RemoteFires:   m.remoteFires.Value(),
+		DroppedFires:  m.droppedFires.Value(),
+		RetriedFires:  m.retriedFires.Value(),
+		ReplayedSends: m.replayed.Value(),
+	}
+	return m
 }
 
 // New creates a shell for the given strategy specification.
@@ -129,6 +189,7 @@ func New(id string, spec *rule.Spec, opts Options) *Shell {
 		pending:    map[string]int{},
 		implicit:   map[string]rule.Rule{},
 		subscribed: map[string]bool{},
+		m:          newShellMetrics(opts.Metrics, opts.Fires, id),
 	}
 }
 
@@ -204,9 +265,7 @@ func (s *Shell) sitesRoutedTo(peer string) []string {
 func (s *Shell) onLinkEvent(ev transport.LinkEvent) {
 	switch ev.Kind {
 	case transport.LinkRetry:
-		s.statMu.Lock()
-		s.stats.RetriedFires += uint64(ev.Fires)
-		s.statMu.Unlock()
+		s.m.retriedFires.Add(uint64(ev.Fires))
 	case transport.LinkDegraded:
 		for _, site := range s.sitesRoutedTo(ev.Peer) {
 			s.reportFailure(cmi.Failure{
@@ -216,9 +275,7 @@ func (s *Shell) onLinkEvent(ev transport.LinkEvent) {
 			}, true)
 		}
 	case transport.LinkOverflow, transport.LinkGaveUp:
-		s.statMu.Lock()
-		s.stats.DroppedFires += uint64(ev.Fires)
-		s.statMu.Unlock()
+		s.m.droppedFires.Add(uint64(ev.Fires))
 		for _, site := range s.sitesRoutedTo(ev.Peer) {
 			s.reportFailure(cmi.Failure{
 				Kind: cmi.FailLogical, Site: site, When: s.clock.Now(),
@@ -227,9 +284,7 @@ func (s *Shell) onLinkEvent(ev transport.LinkEvent) {
 			}, true)
 		}
 	case transport.LinkRecovered:
-		s.statMu.Lock()
-		s.stats.ReplayedSends += uint64(ev.Messages)
-		s.statMu.Unlock()
+		s.m.replayed.Add(uint64(ev.Messages))
 		sites := s.sitesRoutedTo(ev.Peer)
 		for _, site := range sites {
 			s.clearLinkFailures(site)
@@ -268,11 +323,16 @@ func (s *Shell) clearLinkFailures(site string) {
 	s.failMu.Unlock()
 }
 
-// Stats returns the shell's remote-fire delivery counters.
-func (s *Shell) Stats() Stats {
-	s.statMu.Lock()
-	defer s.statMu.Unlock()
-	return s.stats
+// Delivery reads back this shell instance's remote-fire delivery
+// counters from the metrics registry, net of any activity recorded
+// against the same shell ID before this instance was constructed.
+func (s *Shell) Delivery() DeliveryCounts {
+	return DeliveryCounts{
+		RemoteFires:   s.m.remoteFires.Value() - s.m.base.RemoteFires,
+		DroppedFires:  s.m.droppedFires.Value() - s.m.base.DroppedFires,
+		RetriedFires:  s.m.retriedFires.Value() - s.m.base.RetriedFires,
+		ReplayedSends: s.m.replayed.Value() - s.m.base.ReplayedSends,
+	}
 }
 
 // Receive is the inbound message callback to wire into transports that
@@ -421,7 +481,10 @@ func (s *Shell) post(f func()) {
 }
 
 // record appends an event to the trace.
-func (s *Shell) record(e *event.Event) *event.Event { return s.tr.Append(e) }
+func (s *Shell) record(e *event.Event) *event.Event {
+	s.m.events.Inc()
+	return s.tr.Append(e)
+}
 
 // pendKey identifies a CM-initiated write for trigger suppression.
 func pendKey(item data.ItemName, v data.Value) string { return item.Key() + "\x00" + v.String() }
@@ -498,6 +561,7 @@ func (s *Shell) handleEvent(e *event.Event) {
 		if !condOK {
 			continue
 		}
+		s.m.matches.Inc()
 		r := r
 		bCopy := b.Clone()
 		trigger := e
@@ -530,6 +594,13 @@ func (s *Shell) dispatch(r rule.Rule, b event.Bindings, trigger *event.Event) {
 		return
 	}
 	if target == s.id {
+		s.m.localFires.Inc()
+		s.m.ring.Record(obs.FireTrace{
+			Rule: r.ID, Shell: s.id, Site: trigger.Site,
+			Outcome: obs.OutcomeLocal,
+			Trigger: trigger.Desc.String(), Seq: trigger.Seq,
+			Matched: trigger.Time, Dispatched: s.clock.Now(),
+		})
 		s.post(func() { s.executeSteps(r, b, trigger) })
 		return
 	}
@@ -547,22 +618,31 @@ func (s *Shell) dispatch(r rule.Rule, b event.Bindings, trigger *event.Event) {
 		Trigger:      transport.EventRef{Site: trigger.Site, Seq: trigger.Seq, Time: trigger.Time, Desc: trigger.Desc.String()},
 		TriggerEvent: trigger,
 	}
-	s.statMu.Lock()
-	s.stats.RemoteFires++
-	s.statMu.Unlock()
+	s.m.remoteFires.Inc()
 	if err := s.ep.Send(target, msg); err != nil {
 		// A raw endpoint rejected the send and the firing is gone for good;
 		// a reliable endpoint never errors here — it buffers and reports
 		// link health through onLinkEvent instead.
-		s.statMu.Lock()
-		s.stats.DroppedFires++
-		s.statMu.Unlock()
+		s.m.droppedFires.Inc()
+		s.m.ring.Record(obs.FireTrace{
+			Rule: r.ID, Shell: s.id, Site: trigger.Site, Target: target,
+			Outcome: obs.OutcomeDropped,
+			Trigger: trigger.Desc.String(), Seq: trigger.Seq,
+			Matched: trigger.Time, Dispatched: s.clock.Now(),
+		})
 		s.reportFailure(cmi.Failure{
 			Kind: cmi.FailMetric, Site: effSite, When: s.clock.Now(),
 			Op:  "send fire " + r.ID,
 			Err: fmt.Errorf("rule %s to shell %s: %w", r.ID, target, err),
 		}, true)
+		return
 	}
+	s.m.ring.Record(obs.FireTrace{
+		Rule: r.ID, Shell: s.id, Site: trigger.Site, Target: target,
+		Outcome: obs.OutcomeSent,
+		Trigger: trigger.Desc.String(), Seq: trigger.Seq,
+		Matched: trigger.Time, Dispatched: s.clock.Now(),
+	})
 }
 
 // receive handles an inbound transport message.
@@ -589,6 +669,7 @@ func (s *Shell) receive(m transport.Message) {
 		if trigger == nil {
 			trigger = stubTrigger(m.Trigger)
 		}
+		s.m.recvFires.Inc()
 		s.post(func() { s.executeSteps(r, b, trigger) })
 	case "failure":
 		kind := cmi.FailMetric
@@ -694,11 +775,21 @@ func stubTrigger(ref transport.EventRef) *event.Event {
 
 // executeSteps runs the RHS of a rule at this shell.  Runs on the queue.
 func (s *Shell) executeSteps(r rule.Rule, b event.Bindings, trigger *event.Event) {
+	now := s.clock.Now()
+	s.m.ring.Record(obs.FireTrace{
+		Rule: r.ID, Shell: s.id, Site: trigger.Site,
+		Outcome: obs.OutcomeExecuted,
+		Trigger: trigger.Desc.String(), Seq: trigger.Seq,
+		Matched: trigger.Time, Executed: now,
+	})
+	if d := now.Sub(trigger.Time); d >= 0 && !trigger.Time.IsZero() {
+		s.m.latency.Observe(d.Seconds())
+	}
 	// The reserved parameter "now" is bound to the current time at the
 	// effect site when the rule fires (used by monitor strategies to
 	// record Tb, Section 6.3).
 	b = b.Clone()
-	b["now"] = vclock.TimeValue(s.clock.Now())
+	b["now"] = vclock.TimeValue(now)
 	for _, step := range r.Steps {
 		if step.Eff.Op == event.OpF {
 			continue // promises, not actions
@@ -1044,6 +1135,11 @@ func (s *Shell) Failures() []cmi.Failure {
 // failure was detected locally, propagates it to all peer shells so they
 // can mark affected guarantees invalid (Section 5).
 func (s *Shell) reportFailure(f cmi.Failure, propagate bool) {
+	if f.Kind == cmi.FailMetric {
+		s.m.failMetric.Inc()
+	} else {
+		s.m.failLogical.Inc()
+	}
 	s.failMu.Lock()
 	s.failures = append(s.failures, f)
 	fns := append([]func(cmi.Failure){}, s.failureFns...)

@@ -59,7 +59,7 @@ func TestSendFailureReportEnrichedAndCounted(t *testing.T) {
 		!strings.Contains(f.Err.Error(), "shell remote") {
 		t.Fatalf("unenriched failure: op=%q err=%q", f.Op, f.Err)
 	}
-	st := s.Stats()
+	st := s.Delivery()
 	if st.RemoteFires != 1 || st.DroppedFires != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
@@ -149,7 +149,7 @@ func TestShellsSurvivePartitionWithReliableLinks(t *testing.T) {
 	if metric == 0 || logical != 0 {
 		t.Fatalf("during outage: %d metric, %d logical: %v", metric, logical, a.Failures())
 	}
-	if st := a.Stats(); st.RetriedFires == 0 {
+	if st := a.Delivery(); st.RetriedFires == 0 {
 		t.Fatalf("no retries counted during outage: %+v", st)
 	}
 
@@ -159,7 +159,7 @@ func TestShellsSurvivePartitionWithReliableLinks(t *testing.T) {
 	if v, ok := b.ReadAux(data.Item("Y")); !ok || !v.Equal(data.NewInt(3)) {
 		t.Fatalf("after heal Y = %s, %v", v, ok)
 	}
-	if st := a.Stats(); st.ReplayedSends == 0 || st.DroppedFires != 0 {
+	if st := a.Delivery(); st.ReplayedSends == 0 || st.DroppedFires != 0 {
 		t.Fatalf("stats after heal: %+v", st)
 	}
 	for name, sh := range map[string]*Shell{"a": a, "b": b} {

@@ -102,6 +102,7 @@ func (t *Bib) Capabilities(base string) ris.Capability {
 
 // Read implements cmi.Interface.
 func (t *Bib) Read(item data.ItemName) (data.Value, bool, error) {
+	t.countOp("read")
 	b, ok := t.cfg.Binding(item.Base)
 	if !ok {
 		return data.NullValue, false, t.report("read", fmt.Errorf("translator: no binding for item %s", item.Base))
@@ -135,16 +136,19 @@ func (t *Bib) Read(item data.ItemName) (data.Value, bool, error) {
 
 // Write implements cmi.Interface; bibliographies are read-only.
 func (t *Bib) Write(item data.ItemName, v data.Value) error {
+	t.countOp("write")
 	return t.report("write", fmt.Errorf("translator: bibliography at %s: %w", t.cfg.Site, ris.ErrReadOnly))
 }
 
 // Subscribe implements cmi.Interface; bibliographies cannot notify.
 func (t *Bib) Subscribe(base string, fn cmi.NotifyFunc) (func(), error) {
+	t.countOp("notify")
 	return nil, fmt.Errorf("translator: bibliography at %s cannot notify: %w", t.cfg.Site, ris.ErrUnsupported)
 }
 
 // List implements cmi.Interface: all citation keys.
 func (t *Bib) List(base string) ([]data.ItemName, error) {
+	t.countOp("list")
 	if _, ok := t.cfg.Binding(base); !ok {
 		return nil, t.report("read", fmt.Errorf("translator: no binding for item %s", base))
 	}
@@ -160,6 +164,7 @@ func (t *Bib) List(base string) ([]data.ItemName, error) {
 // query the Section 4.3 referential constraint needs ("every paper
 // authored by a Stanford database researcher").
 func (t *Bib) ListByAuthor(base, author string) ([]data.ItemName, error) {
+	t.countOp("list")
 	if _, ok := t.cfg.Binding(base); !ok {
 		return nil, t.report("read", fmt.Errorf("translator: no binding for item %s", base))
 	}

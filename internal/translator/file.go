@@ -62,6 +62,7 @@ func (t *File) binding(base string) (*rid.ItemBinding, error) {
 // Read implements cmi.Interface: the item's first argument is the record
 // key within the bound file.
 func (t *File) Read(item data.ItemName) (data.Value, bool, error) {
+	t.countOp("read")
 	b, err := t.binding(item.Base)
 	if err != nil {
 		return data.NullValue, false, t.report("read", err)
@@ -86,6 +87,7 @@ func (t *File) Read(item data.ItemName) (data.Value, bool, error) {
 
 // Write implements cmi.Interface.
 func (t *File) Write(item data.ItemName, v data.Value) error {
+	t.countOp("write")
 	b, err := t.binding(item.Base)
 	if err != nil {
 		return t.report("write", err)
@@ -102,11 +104,13 @@ func (t *File) Write(item data.ItemName, v data.Value) error {
 
 // Subscribe implements cmi.Interface; flat files cannot notify.
 func (t *File) Subscribe(base string, fn cmi.NotifyFunc) (func(), error) {
+	t.countOp("notify")
 	return nil, fmt.Errorf("translator: flat-file source at %s cannot notify: %w", t.cfg.Site, ris.ErrUnsupported)
 }
 
 // List implements cmi.Interface.
 func (t *File) List(base string) ([]data.ItemName, error) {
+	t.countOp("list")
 	b, err := t.binding(base)
 	if err != nil {
 		return nil, t.report("read", err)

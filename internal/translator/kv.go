@@ -82,6 +82,7 @@ func (t *KV) binding(base string) (*rid.ItemBinding, error) {
 // Read implements cmi.Interface: the item's first argument is the entity,
 // the binding names the attribute.
 func (t *KV) Read(item data.ItemName) (data.Value, bool, error) {
+	t.countOp("read")
 	b, err := t.binding(item.Base)
 	if err != nil {
 		return data.NullValue, false, t.report("read", err)
@@ -106,6 +107,7 @@ func (t *KV) Read(item data.ItemName) (data.Value, bool, error) {
 
 // Write implements cmi.Interface.
 func (t *KV) Write(item data.ItemName, v data.Value) error {
+	t.countOp("write")
 	b, err := t.binding(item.Base)
 	if err != nil {
 		return t.report("write", err)
@@ -127,6 +129,7 @@ func (t *KV) Write(item data.ItemName, v data.Value) error {
 // Subscribe implements cmi.Interface using the store's native change
 // stream, filtered to the bound attribute.
 func (t *KV) Subscribe(base string, fn cmi.NotifyFunc) (func(), error) {
+	t.countOp("notify")
 	b, err := t.binding(base)
 	if err != nil {
 		return nil, t.report("notify", err)
@@ -166,6 +169,7 @@ func (t *KV) Subscribe(base string, fn cmi.NotifyFunc) (func(), error) {
 
 // List implements cmi.Interface: entities that carry the bound attribute.
 func (t *KV) List(base string) ([]data.ItemName, error) {
+	t.countOp("list")
 	b, err := t.binding(base)
 	if err != nil {
 		return nil, t.report("read", err)

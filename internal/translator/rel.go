@@ -78,6 +78,7 @@ func (t *Rel) binding(item data.ItemName) (*rid.ItemBinding, error) {
 
 // Read implements cmi.Interface.
 func (t *Rel) Read(item data.ItemName) (data.Value, bool, error) {
+	t.countOp("read")
 	b, err := t.binding(item)
 	if err != nil {
 		return data.NullValue, false, t.report("read", err)
@@ -108,6 +109,7 @@ func (t *Rel) Read(item data.ItemName) (data.Value, bool, error) {
 // (upsert semantics, so parameterized copy constraints can create rows at
 // the replica).
 func (t *Rel) Write(item data.ItemName, v data.Value) error {
+	t.countOp("write")
 	b, err := t.binding(item)
 	if err != nil {
 		return t.report("write", err)
@@ -152,6 +154,7 @@ func (t *Rel) Write(item data.ItemName, v data.Value) error {
 // table and mapping trigger rows back to items via the key and value
 // columns.
 func (t *Rel) Subscribe(base string, fn cmi.NotifyFunc) (func(), error) {
+	t.countOp("notify")
 	b, ok := t.cfg.Binding(base)
 	if !ok {
 		return nil, t.report("notify", fmt.Errorf("translator: no binding for item %s", base))
@@ -218,6 +221,7 @@ func (t *Rel) Subscribe(base string, fn cmi.NotifyFunc) (func(), error) {
 
 // List implements cmi.Interface using the list template.
 func (t *Rel) List(base string) ([]data.ItemName, error) {
+	t.countOp("list")
 	b, ok := t.cfg.Binding(base)
 	if !ok {
 		return nil, t.report("read", fmt.Errorf("translator: no binding for item %s", base))

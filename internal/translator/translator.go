@@ -17,25 +17,62 @@ import (
 	"cmtk/internal/cmi"
 	"cmtk/internal/data"
 	"cmtk/internal/event"
+	"cmtk/internal/obs"
 	"cmtk/internal/ris"
 	"cmtk/internal/rule"
 	"cmtk/internal/vclock"
 )
 
 // failureHub implements cmi.Interface's failure reporting for all
-// translator kinds.
+// translator kinds, and carries their shared obs instrumentation: every
+// CM-Interface operation and every classified failure lands in the
+// process-wide obs.Default registry, labelled by site.
 type failureHub struct {
 	site  string
 	clock vclock.Clock
 	mu    sync.Mutex
 	fns   []func(cmi.Failure)
+
+	// operation counters by CM-Interface entry point
+	mRead, mWrite, mNotify, mList *obs.Counter
+	// failure counters by Section 5 kind
+	mFailMetric, mFailLogical *obs.Counter
 }
 
 func newFailureHub(site string, clock vclock.Clock) failureHub {
 	if clock == nil {
 		clock = vclock.Real{}
 	}
-	return failureHub{site: site, clock: clock}
+	ops := obs.Default.Counter("cmtk_translator_ops_total",
+		"CM-Interface operations served by a translator, by site and entry point.",
+		"site", "op")
+	fails := obs.Default.Counter("cmtk_translator_failures_total",
+		"Interface failures classified by a translator, by Section 5 kind.",
+		"site", "kind")
+	return failureHub{
+		site: site, clock: clock,
+		mRead:        ops.With(site, "read"),
+		mWrite:       ops.With(site, "write"),
+		mNotify:      ops.With(site, "notify"),
+		mList:        ops.With(site, "list"),
+		mFailMetric:  fails.With(site, "metric"),
+		mFailLogical: fails.With(site, "logical"),
+	}
+}
+
+// countOp bumps the operation counter for a CM-Interface entry point.
+// Translators call it on entry to Read/Write/Subscribe/List.
+func (h *failureHub) countOp(op string) {
+	switch op {
+	case "read":
+		h.mRead.Inc()
+	case "write":
+		h.mWrite.Inc()
+	case "notify":
+		h.mNotify.Inc()
+	case "list":
+		h.mList.Inc()
+	}
 }
 
 // OnFailure implements cmi.Interface.
@@ -57,6 +94,11 @@ func (h *failureHub) report(op string, err error) error {
 		When: h.clock.Now(),
 		Op:   op,
 		Err:  err,
+	}
+	if f.Kind == cmi.FailMetric {
+		h.mFailMetric.Inc()
+	} else {
+		h.mFailLogical.Inc()
 	}
 	h.mu.Lock()
 	fns := append([]func(cmi.Failure){}, h.fns...)

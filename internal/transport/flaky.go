@@ -7,6 +7,7 @@
 // point of view, nothing arrives.  Together with Reliable it forms the
 // E12 ablation harness — guarantees survive faults with the reliability
 // layer and fail without it.
+
 package transport
 
 import (
@@ -14,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"cmtk/internal/obs"
 	"cmtk/internal/vclock"
 )
 
@@ -35,6 +37,9 @@ type FlakyOptions struct {
 	// DelayBy is the extra latency applied to delayed messages (default
 	// 50ms).
 	DelayBy time.Duration
+	// Metrics is the registry the injected-fault counters land in; nil
+	// means obs.Default.
+	Metrics *obs.Registry
 }
 
 // Flaky injects message loss, duplication, extra delay, and directed
@@ -47,6 +52,9 @@ type Flaky struct {
 	mu     sync.Mutex
 	rng    *rand.Rand
 	parted map[[2]string]bool // {from, to} → black-holed
+
+	// injected-fault counters by kind
+	mDrop, mDup, mDelay, mPart *obs.Counter
 }
 
 // NewFlaky wraps a network with seeded fault injection.
@@ -57,12 +65,22 @@ func NewFlaky(inner Network, opts FlakyOptions) *Flaky {
 	if opts.DelayBy <= 0 {
 		opts.DelayBy = 50 * time.Millisecond
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default
+	}
+	faults := reg.Counter("cmtk_flaky_faults_total",
+		"Faults injected by the Flaky wrapper, by kind (drop, duplicate, delay, partition).", "kind")
 	return &Flaky{
 		inner:  inner,
 		opts:   opts,
 		clock:  opts.Clock,
 		rng:    rand.New(rand.NewSource(opts.Seed)),
 		parted: map[[2]string]bool{},
+		mDrop:  faults.With("drop"),
+		mDup:   faults.With("duplicate"),
+		mDelay: faults.With("delay"),
+		mPart:  faults.With("partition"),
 	}
 }
 
@@ -118,12 +136,22 @@ func (e *flakyEndpoint) Send(to string, m Message) error {
 	f.mu.Lock()
 	if f.parted[[2]string{e.from, to}] {
 		f.mu.Unlock()
+		f.mPart.Inc()
 		return nil // black hole: silently lost
 	}
 	drop := f.rng.Float64() < f.opts.Drop
 	dup := f.rng.Float64() < f.opts.Duplicate
 	delay := f.rng.Float64() < f.opts.Delay
 	f.mu.Unlock()
+	if drop {
+		f.mDrop.Inc()
+	}
+	if dup {
+		f.mDup.Inc()
+	}
+	if delay {
+		f.mDelay.Inc()
+	}
 	if drop && !dup {
 		return nil
 	}

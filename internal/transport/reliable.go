@@ -16,6 +16,7 @@
 // budget exhaustion loses messages (logical failure), and a degraded link
 // whose outbox fully drains after reconnection raises a recovery event so
 // shells can clear the metric failures it caused.
+
 package transport
 
 import (
@@ -26,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"cmtk/internal/obs"
 	"cmtk/internal/vclock"
 )
 
@@ -129,6 +131,9 @@ type ReliableOptions struct {
 	// Seed makes the backoff jitter deterministic (per-link streams are
 	// derived from Seed and the peer name).
 	Seed int64
+	// Metrics is the registry the reliability layer's per-link counters
+	// land in; nil means obs.Default.
+	Metrics *obs.Registry
 }
 
 func (o ReliableOptions) withDefaults() ReliableOptions {
@@ -194,6 +199,15 @@ type relOut struct {
 	replayed int // messages acked while degraded
 	lastErr  error
 	rng      *rand.Rand
+
+	// per-peer metric cells, resolved once when the link is created
+	mSends    *obs.Counter
+	mRetries  *obs.Counter
+	mAcked    *obs.Counter
+	mReplayed *obs.Counter
+	mOverflow *obs.Counter
+	mGaveUp   *obs.Counter
+	mDepth    *obs.Gauge
 }
 
 // relIn is the receiver half of one link.
@@ -201,6 +215,42 @@ type relIn struct {
 	epoch uint64             // sender incarnation last seen
 	next  uint64             // next expected seq
 	hold  map[uint64]Message // reorder buffer for out-of-order arrivals
+
+	mDups *obs.Counter
+	mHeld *obs.Counter
+}
+
+// relMetrics holds the reliability layer's metric families; per-peer
+// cells are resolved into relOut/relIn when a link first appears.
+type relMetrics struct {
+	sends, retries, acked, replayed *obs.CounterVec
+	dropped                         *obs.CounterVec // peer, reason
+	dups, held                      *obs.CounterVec
+	depth                           *obs.GaugeVec
+}
+
+func newRelMetrics(reg *obs.Registry) relMetrics {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return relMetrics{
+		sends: reg.Counter("cmtk_transport_sends_total",
+			"Messages sequenced and buffered for transmission, per link.", "peer"),
+		retries: reg.Counter("cmtk_transport_retries_total",
+			"Message retransmissions by the retry schedule, per link.", "peer"),
+		acked: reg.Counter("cmtk_transport_acked_total",
+			"Outbox entries retired by cumulative acks, per link.", "peer"),
+		replayed: reg.Counter("cmtk_transport_replayed_total",
+			"Messages replayed in order and acknowledged while a link recovered from degradation.", "peer"),
+		dropped: reg.Counter("cmtk_transport_outbox_dropped_total",
+			"Buffered messages lost for good, by reason (overflow, gave-up).", "peer", "reason"),
+		dups: reg.Counter("cmtk_transport_dups_dropped_total",
+			"Receiver-side duplicates discarded by sequence-number dedup, per link.", "peer"),
+		held: reg.Counter("cmtk_transport_reorder_held_total",
+			"Out-of-order arrivals parked in the reorder buffer, per link.", "peer"),
+		depth: reg.Gauge("cmtk_transport_outbox_depth",
+			"Unacked messages currently buffered, per link.", "peer"),
+	}
 }
 
 // ReliableEndpoint is one shell's reliable attachment.  It is normally
@@ -225,6 +275,8 @@ type ReliableEndpoint struct {
 	recv  func(Message)
 	epoch uint64 // this sender incarnation, stamped on outbound messages
 
+	met relMetrics
+
 	mu       sync.Mutex
 	inner    Endpoint
 	out      map[string]*relOut
@@ -245,6 +297,7 @@ func NewReliableEndpoint(recv func(Message), opts ReliableOptions) *ReliableEndp
 		epoch: uint64(o.Clock.Now().UnixNano()),
 		clock: o.Clock,
 		recv:  recv,
+		met:   newRelMetrics(o.Metrics),
 		out:   map[string]*relOut{},
 		in:    map[string]*relIn{},
 	}
@@ -295,7 +348,16 @@ func (r *ReliableEndpoint) outLink(to string) *relOut {
 	if o == nil {
 		h := fnv.New64a()
 		h.Write([]byte(to))
-		o = &relOut{rng: rand.New(rand.NewSource(r.opts.Seed ^ int64(h.Sum64())))}
+		o = &relOut{
+			rng:       rand.New(rand.NewSource(r.opts.Seed ^ int64(h.Sum64()))),
+			mSends:    r.met.sends.With(to),
+			mRetries:  r.met.retries.With(to),
+			mAcked:    r.met.acked.With(to),
+			mReplayed: r.met.replayed.With(to),
+			mOverflow: r.met.dropped.With(to, "overflow"),
+			mGaveUp:   r.met.dropped.With(to, "gave-up"),
+			mDepth:    r.met.depth.With(to),
+		}
 		r.out[to] = o
 	}
 	return o
@@ -358,6 +420,7 @@ func (r *ReliableEndpoint) Send(to string, m Message) error {
 		if m.Kind == "fire" {
 			ev.Fires = 1
 		}
+		o.mOverflow.Inc()
 		r.mu.Unlock()
 		r.emit([]LinkEvent{ev})
 		return nil
@@ -373,6 +436,8 @@ func (r *ReliableEndpoint) Send(to string, m Message) error {
 	p[relEpochKey] = strconv.FormatUint(r.epoch, 10)
 	wm.Payload = p
 	o.q = append(o.q, relMsg{seq: seq, m: wm})
+	o.mSends.Inc()
+	o.mDepth.Set(int64(len(o.q)))
 	out := withBase(wm, o.q[0].seq)
 	r.scheduleLocked(to, o)
 	r.mu.Unlock()
@@ -413,6 +478,8 @@ func (r *ReliableEndpoint) retry(to string) {
 		o.q = nil
 		o.attempts = 0
 		o.degraded = false
+		o.mGaveUp.Add(uint64(len(dropped)))
+		o.mDepth.Set(0)
 		evs = append(evs, LinkEvent{
 			Kind: LinkGaveUp, Peer: to, Err: o.lastErr, Attempts: r.opts.RetryBudget,
 			Messages: len(dropped), Fires: countFires(dropped),
@@ -429,6 +496,7 @@ func (r *ReliableEndpoint) retry(to string) {
 	for i, e := range o.q {
 		batch[i] = relMsg{seq: e.seq, m: withBase(e.m, base)}
 	}
+	o.mRetries.Add(uint64(len(batch)))
 	evs = append(evs, LinkEvent{
 		Kind: LinkRetry, Peer: to, Err: o.lastErr, Attempts: o.attempts,
 		Messages: len(batch), Fires: countFires(batch),
@@ -475,7 +543,11 @@ func (r *ReliableEndpoint) Deliver(m Message) {
 	r.mu.Lock()
 	in := r.in[from]
 	if in == nil {
-		in = &relIn{epoch: epoch, hold: map[uint64]Message{}}
+		in = &relIn{
+			epoch: epoch, hold: map[uint64]Message{},
+			mDups: r.met.dups.With(from),
+			mHeld: r.met.held.With(from),
+		}
 		r.in[from] = in
 	}
 	if epoch < in.epoch {
@@ -515,6 +587,7 @@ func (r *ReliableEndpoint) Deliver(m Message) {
 		// Duplicate of an already-delivered message (retransmit after a
 		// lost ack, or a duplicating link): drop, but re-ack below so the
 		// sender can retire it.
+		in.mDups.Inc()
 	case seq == in.next:
 		deliver = append(deliver, stripSeq(m))
 		in.next++
@@ -532,6 +605,7 @@ func (r *ReliableEndpoint) Deliver(m Message) {
 		// retransmit will fill the hole even if this copy is evicted.
 		if len(in.hold) < r.opts.OutboxLimit {
 			in.hold[seq] = m
+			in.mHeld.Inc()
 		}
 	}
 	ack := in.next
@@ -606,10 +680,13 @@ func (r *ReliableEndpoint) handleAck(m Message) {
 	}
 	var evs []LinkEvent
 	if n > 0 {
+		o.mAcked.Add(uint64(n))
+		o.mDepth.Set(int64(len(o.q)))
 		o.attempts = 0
 		o.lastErr = nil
 		if o.degraded {
 			o.replayed += n
+			o.mReplayed.Add(uint64(n))
 			if len(o.q) == 0 {
 				// The outage's backlog has fully replayed, in order: the
 				// link has recovered.
