@@ -167,3 +167,32 @@ func BenchmarkE11ClockSkew(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkE13CrashRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := harness.E13(3)
+		if len(tbl.Rows) != 4 {
+			b.Fatalf("E13 rows = %d", len(tbl.Rows))
+		}
+		// The in-memory arm is expected to lose its outbox with the process
+		// and end stale — that IS the ablation; every durable arm must
+		// replay its journal and come out clean everywhere.
+		for _, row := range tbl.Rows {
+			if row[0] != "durable" {
+				continue
+			}
+			for i, cell := range row {
+				if strings.Contains(cell, "FAILS") {
+					b.Fatalf("E13 durable arm failed column %q: %v", tbl.Columns[i], row)
+				}
+			}
+			if row[6] == "0" {
+				b.Fatalf("E13 durable arm replayed nothing: %v", row)
+			}
+			if row[8] != "true" {
+				b.Fatalf("E13 durable arm ended stale: %v", row)
+			}
+		}
+		requireNoViolationMarks(b, tbl, "leads", "final value correct")
+	}
+}

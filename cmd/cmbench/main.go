@@ -24,7 +24,7 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "workload scale factor")
-	exps := flag.String("exp", "all", "comma-separated experiment ids (E1..E12, F1, F2) or 'all'")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (E1..E13, F1, F2) or 'all'")
 	obsMode := flag.Bool("obs", false, "print per-experiment metric deltas from the obs registry")
 	flag.Parse()
 
@@ -41,10 +41,11 @@ func main() {
 		"E10": func() harness.Table { return harness.E10(20 * *scale) },
 		"E11": func() harness.Table { return harness.E11(4 * *scale) },
 		"E12": func() harness.Table { return harness.E12(3 * *scale) },
+		"E13": func() harness.Table { return harness.E13(3 * *scale) },
 		"F1":  func() harness.Table { return harness.F1(100 * *scale) },
 		"F2":  func() harness.Table { return harness.F2(30 * *scale) },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "F1", "F2"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "F1", "F2"}
 
 	var selected []string
 	if *exps == "all" {
@@ -53,7 +54,7 @@ func main() {
 		for _, id := range strings.Split(*exps, ",") {
 			id = strings.TrimSpace(strings.ToUpper(id))
 			if _, ok := runners[id]; !ok {
-				fmt.Fprintf(os.Stderr, "cmbench: unknown experiment %q (want E1..E12, F1, F2)\n", id)
+				fmt.Fprintf(os.Stderr, "cmbench: unknown experiment %q (want E1..E13, F1, F2)\n", id)
 				os.Exit(2)
 			}
 			selected = append(selected, id)

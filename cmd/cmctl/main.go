@@ -10,6 +10,13 @@
 //	cmctl check -spec strategy.spec
 //	cmctl check -rid b.rid
 //	cmctl suggest -x salary1 -xrid a.rid -y salary2 -yrid b.rid [-arity 1]
+//	cmctl state -state-dir /var/lib/cmshell-a
+//
+// The state subcommand reads a cmshell durable state directory without
+// modifying it (safe while the shell is running): per-journal segment
+// counts, WAL sizes, checkpoint ages, and any damage recovery would
+// truncate at, plus the decoded reliability journal — per-peer outbox
+// depth (the messages a restart would replay) and receive cursors.
 package main
 
 import (
@@ -17,12 +24,16 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
 
+	"cmtk/internal/durable"
 	"cmtk/internal/guarantee"
 	"cmtk/internal/rid"
 	"cmtk/internal/rule"
 	"cmtk/internal/strategy"
 	"cmtk/internal/translator"
+	"cmtk/internal/transport"
 )
 
 func main() {
@@ -34,6 +45,8 @@ func main() {
 		check(os.Args[2:])
 	case "suggest":
 		suggest(os.Args[2:])
+	case "state":
+		state(os.Args[2:])
 	default:
 		usage()
 	}
@@ -42,6 +55,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: cmctl check [-spec FILE] [-rid FILE]")
 	fmt.Fprintln(os.Stderr, "       cmctl suggest -x BASE -xrid FILE -y BASE -yrid FILE [-arity N]")
+	fmt.Fprintln(os.Stderr, "       cmctl state -state-dir DIR")
 	os.Exit(2)
 }
 
@@ -92,6 +106,81 @@ func check(args []string) {
 			fmt.Printf("  interface %s\n", st)
 		}
 	}
+}
+
+func state(args []string) {
+	fs := flag.NewFlagSet("state", flag.ExitOnError)
+	dir := fs.String("state-dir", "", "durable state directory to inspect")
+	fs.Parse(args)
+	if *dir == "" {
+		usage()
+	}
+	infos, clean, err := durable.Inspect(*dir)
+	if err != nil {
+		log.Fatalf("cmctl: %v", err)
+	}
+	shutdown := "dirty (no clean-shutdown marker: next start replays journals)"
+	if clean {
+		shutdown = "clean (marker present: next start is warm)"
+	}
+	fmt.Printf("%s: %d journal(s), last shutdown %s\n", *dir, len(infos), shutdown)
+	for _, info := range infos {
+		fmt.Printf("\njournal %s: %d segment(s), %d bytes WAL, %d record(s) after checkpoint\n",
+			info.Name, info.Segments, info.WALBytes, info.Records)
+		if info.HasCheckpoint {
+			fmt.Printf("  checkpoint: %d bytes, written %s\n",
+				info.CheckpointLen, info.CheckpointAt.Format("2006-01-02 15:04:05"))
+		} else {
+			fmt.Printf("  checkpoint: none (full replay from the log)\n")
+		}
+		for _, d := range info.Damage {
+			fmt.Printf("  damage: %s in %s at offset %d (%s) — recovery stops here\n",
+				d.Kind, d.Segment, d.Offset, d.Detail)
+		}
+		if !strings.HasPrefix(info.Name, "rel-") {
+			continue
+		}
+		// Reliability journals decode further: what a restart would replay.
+		rec, err := durable.ReadLog(*dir, info.Name)
+		if err != nil {
+			fmt.Printf("  (undecodable: %v)\n", err)
+			continue
+		}
+		sum, err := transport.SummarizeJournal(rec)
+		if err != nil {
+			fmt.Printf("  (undecodable: %v)\n", err)
+			continue
+		}
+		fmt.Printf("  sender epoch: %d\n", sum.Epoch)
+		for _, peer := range sortedKeysOut(sum.Out) {
+			o := sum.Out[peer]
+			fmt.Printf("  -> %s: outbox depth %d (%d fire(s)), next seq %d\n",
+				peer, o.Pending, o.Fires, o.NextSeq)
+		}
+		for _, peer := range sortedKeysIn(sum.In) {
+			in := sum.In[peer]
+			fmt.Printf("  <- %s: dedup cursor at seq %d (sender epoch %d)\n",
+				peer, in.Next, in.Epoch)
+		}
+	}
+}
+
+func sortedKeysOut(m map[string]transport.OutSummary) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysIn(m map[string]transport.InSummary) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func suggest(args []string) {

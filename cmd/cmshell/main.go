@@ -25,6 +25,16 @@
 // process-wide registry in Prometheus text format (shell, translator,
 // and transport metrics), and /debug/traces dumps the rule-firing trace
 // ring as JSON.  See OBSERVABILITY.md for the full catalogue.
+//
+// -state-dir makes the shell crash-recoverable: the reliable transport's
+// outbox and dedup cursors and the shell's CM-private items journal into
+// write-ahead logs there, so a killed process comes back up, replays its
+// unacked fires in order, and keeps deduplicating retransmits it already
+// processed — a crash stays the Section 5 *metric* failure instead of
+// silently losing messages.  -wal-sync picks the fsync policy
+// (always|interval|never).  A clean shutdown leaves a marker that lets
+// the next start skip replay reporting ("warm"); after a kill the start
+// is "cold" and reports what it recovered.
 package main
 
 import (
@@ -38,6 +48,7 @@ import (
 	"time"
 
 	"cmtk/internal/cmi"
+	"cmtk/internal/durable"
 	"cmtk/internal/obs"
 	"cmtk/internal/rid"
 	"cmtk/internal/rule"
@@ -58,6 +69,8 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "mesh listen address")
 	unreliable := flag.Bool("unreliable", false, "raw mesh sends: no retry, no outage buffering")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/traces on this address (empty: off)")
+	stateDir := flag.String("state-dir", "", "durable state directory: journal outbox and private items for crash recovery (empty: in-memory only)")
+	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always|interval|never")
 	retry := flag.Duration("retry", 200*time.Millisecond, "reliable-link base retransmit interval")
 	dialTimeout := flag.Duration("dial-timeout", 5*time.Second, "mesh peer dial timeout")
 	reqTimeout := flag.Duration("req-timeout", 10*time.Second, "mesh request timeout")
@@ -90,7 +103,33 @@ func main() {
 		fmt.Printf("cmshell: observability on http://%s (/metrics, /debug/traces)\n", bound)
 	}
 
+	var store *durable.Store
+	if *stateDir != "" {
+		policy, err := durable.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatalf("cmshell: %v", err)
+		}
+		store, err = durable.Open(*stateDir, durable.Options{Sync: policy})
+		if err != nil {
+			log.Fatalf("cmshell: opening state dir: %v", err)
+		}
+		start := "cold (recovering journals)"
+		if store.WasClean() {
+			start = "warm (clean shutdown marker found)"
+		}
+		fmt.Printf("cmshell: durable state in %s, %s start, wal-sync=%s\n", *stateDir, start, policy)
+	}
+
 	sh := shell.New(*id, spec, shell.Options{})
+	if store != nil {
+		restored, err := sh.EnableDurable(store)
+		if err != nil {
+			log.Fatalf("cmshell: durable private state: %v", err)
+		}
+		if restored > 0 {
+			fmt.Printf("cmshell: recovered %d private item(s)\n", restored)
+		}
+	}
 	for _, p := range ridPaths {
 		cfg, err := rid.ParseFile(p)
 		if err != nil {
@@ -137,6 +176,15 @@ func main() {
 		fmt.Printf("cmshell: %s (raw links) listening on %s\n", *id, mesh.Addr())
 	} else {
 		rel = transport.NewReliableEndpoint(sh.Receive, transport.ReliableOptions{RetryInterval: *retry})
+		if store != nil {
+			replayed, err := rel.EnableJournal(store, "rel-"+*id)
+			if err != nil {
+				log.Fatalf("cmshell: durable transport state: %v", err)
+			}
+			if replayed > 0 {
+				fmt.Printf("cmshell: replaying %d unacked message(s) from the journal\n", replayed)
+			}
+		}
 		mesh, err := transport.NewTCP(*id, *listen, addrs, rel.Deliver, dialOpts...)
 		if err != nil {
 			log.Fatal(err)
@@ -169,4 +217,13 @@ func main() {
 		}
 	}
 	sh.Stop()
+	if store != nil {
+		// Final checkpoints, flush, and the clean-shutdown marker: the next
+		// start is warm instead of replaying the whole journal.
+		if err := store.Close(); err != nil {
+			log.Printf("cmshell: closing durable state: %v", err)
+		} else {
+			fmt.Println("cmshell: durable state closed cleanly")
+		}
+	}
 }

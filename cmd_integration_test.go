@@ -8,15 +8,18 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"cmtk/internal/data"
+	"cmtk/internal/durable"
 	"cmtk/internal/ris/server"
 )
 
@@ -221,5 +224,195 @@ func writeFile(t *testing.T, path, content string) {
 	t.Helper()
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// scrapeCounterLine fetches /metrics and returns the integer value of the
+// first line starting with prefix, or -1 when the series is absent.
+func scrapeCounterLine(t *testing.T, obsURL, prefix string) int64 {
+	t.Helper()
+	resp, err := http.Get(obsURL + "/metrics")
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return -1
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, prefix) {
+			v, err := strconv.ParseInt(lastField(line), 10, 64)
+			if err != nil {
+				return -1
+			}
+			return v
+		}
+	}
+	return -1
+}
+
+// TestCrashRecoveryAcrossProcesses kills a cmshell with SIGKILL while its
+// peer is unreachable and its outbox is full of undelivered fires, then
+// restarts it over the same -state-dir.  The write-ahead log must bring
+// the outbox back, the restarted process must replay the fires in order
+// once the peer comes up, and the replica database must converge to the
+// last pre-crash value — the Section 5 "remember messages that need to be
+// sent out upon recovery" condition, demonstrated across real processes.
+func TestCrashRecoveryAcrossProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin, "./cmd/risd", "./cmd/cmshell")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building binaries: %v", err)
+	}
+
+	scA, stopA := startProc(t, filepath.Join(bin, "risd"), "-kind", "relstore", "-name", "branch", "-demo")
+	defer stopA()
+	addrA := lastField(expectLine(t, scA, "serving"))
+	scB, stopB := startProc(t, filepath.Join(bin, "risd"), "-kind", "relstore", "-name", "hq", "-demo")
+	defer stopB()
+	addrB := lastField(expectLine(t, scB, "serving"))
+
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "strategy.spec")
+	writeFile(t, specPath, `
+site A
+site B
+item salary1 @ A
+item salary2 @ B
+rule prop: N(salary1(n), b) ->5s WR(salary2(n), b)
+`)
+	ridAPath := filepath.Join(dir, "a.rid")
+	writeFile(t, ridAPath, fmt.Sprintf(`
+kind relstore
+site A
+addr %s
+item salary1
+  type int
+  read   SELECT salary FROM employees WHERE empid = $n
+  list   SELECT empid FROM employees
+  watch  employees
+  keycol empid
+  valcol salary
+interface Ws(salary1(n), b) ->2s N(salary1(n), b)
+`, addrA))
+	ridBPath := filepath.Join(dir, "b.rid")
+	writeFile(t, ridBPath, fmt.Sprintf(`
+kind relstore
+site B
+addr %s
+item salary2
+  type int
+  read   SELECT salary FROM employees WHERE empid = $n
+  write  UPDATE employees SET salary = $b WHERE empid = $n
+  insert INSERT INTO employees (empid, salary) VALUES ($n, $b)
+  delete DELETE FROM employees WHERE empid = $n
+  list   SELECT empid FROM employees
+interface WR(salary2(n), b) ->3s W(salary2(n), b)
+`, addrB))
+
+	// Reserve a fixed mesh address for shell B, which starts only AFTER
+	// shell A has crashed: everything A sends before then must buffer.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shBAddr := ln.Addr().String()
+	ln.Close()
+
+	stateDir := filepath.Join(dir, "state-a")
+	shellAArgs := []string{
+		"-id", "shellA", "-spec", specPath, "-rid", ridAPath,
+		"-peer", "shellB=" + shBAddr, "-route", "B=shellB",
+		"-state-dir", stateDir, "-retry", "100ms",
+		"-metrics-addr", "127.0.0.1:0",
+	}
+	scShA, crashShA := startProc(t, filepath.Join(bin, "cmshell"), shellAArgs...)
+	obsURL := strings.Fields(expectLine(t, scShA, "observability on"))[3]
+	expectLine(t, scShA, "cold (recovering journals)")
+	expectLine(t, scShA, "running")
+
+	// Three ordered updates at the branch database; shell A fires for each
+	// and the sends buffer against the unreachable peer.
+	appA, err := server.DialRel(addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer appA.Close()
+	for _, salary := range []int{101, 102, 103} {
+		if _, err := appA.Exec(fmt.Sprintf("UPDATE employees SET salary = %d WHERE empid = 'e1'", salary)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for scrapeCounterLine(t, obsURL, `cmtk_transport_sends_total{peer="shellB"}`) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("shell A never buffered the three fires")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// SIGKILL: no flush, no clean-shutdown marker, no goodbye.
+	crashShA()
+
+	// Restart over the same state directory: the journal must replay the
+	// buffered fires.
+	scShA2, stopShA2 := startProc(t, filepath.Join(bin, "cmshell"), shellAArgs...)
+	defer stopShA2()
+	expectLine(t, scShA2, "cold (recovering journals)")
+	replayLine := expectLine(t, scShA2, "replaying")
+	expectLine(t, scShA2, "running")
+	if !strings.Contains(replayLine, "replaying 3 unacked") {
+		t.Fatalf("restart replayed the wrong outbox: %q", replayLine)
+	}
+
+	// Only now does shell B come up, at the address A has been retrying.
+	scShB, stopShB := startProc(t, filepath.Join(bin, "cmshell"),
+		"-id", "shellB", "-spec", specPath, "-rid", ridBPath,
+		"-listen", shBAddr, "-peer", "shellA=ignored")
+	defer stopShB()
+	expectLine(t, scShB, "running")
+
+	// The replayed fires arrive in order, so the replica converges to the
+	// LAST pre-crash value.
+	appB, err := server.DialRel(addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer appB.Close()
+	deadline = time.Now().Add(30 * time.Second)
+	converged := false
+	var got data.Value
+	for time.Now().Before(deadline) {
+		res, err := appB.Exec("SELECT salary FROM employees WHERE empid = 'e1'")
+		if err == nil && len(res.Rows) == 1 {
+			got = res.Rows[0][0]
+			if got.Equal(data.NewInt(103)) {
+				converged = true
+				break
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !converged {
+		t.Fatalf("replica = %v, want the last pre-crash value 103", got)
+	}
+
+	// A state directory inspection while the shell is live must be safe
+	// and see the journals.
+	infos, _, err := durable.Inspect(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, info := range infos {
+		names[info.Name] = true
+	}
+	if !names["rel-shellA"] || !names["shell-shellA"] {
+		t.Fatalf("state dir journals = %v, want rel-shellA and shell-shellA", names)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"cmtk/internal/durable"
 	"cmtk/internal/harness"
 	"cmtk/internal/obs"
 	"cmtk/internal/ris/relstore"
@@ -98,6 +99,21 @@ func TestDocsReferenceDefinedFlags(t *testing.T) {
 func TestObservabilityCataloguesEveryMetric(t *testing.T) {
 	harness.E1(1)
 	harness.E12(1)
+	// The durable layer registers its cmtk_wal_* families in the default
+	// registry (E13 runs with isolated per-arm registries).
+	st, err := durable.Open(t.TempDir(), durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, _, err := st.Log("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Append(1, []byte("x"))
+	lg.Checkpoint([]byte("s"))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
 	srv, err := server.ServeRel("127.0.0.1:0", relstore.New("doc"))
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +148,7 @@ func TestObservabilityCataloguesEveryMetric(t *testing.T) {
 	// The harness + server must have registered all four layers; a
 	// collapse here means the test lost its coverage, not that docs are
 	// fine.
-	for _, want := range []string{"cmtk_shell_", "cmtk_translator_", "cmtk_transport_", "cmtk_ris_"} {
+	for _, want := range []string{"cmtk_shell_", "cmtk_translator_", "cmtk_transport_", "cmtk_ris_", "cmtk_wal_"} {
 		if !strings.Contains(b.String(), "# TYPE "+want) &&
 			!strings.Contains(b.String(), want) {
 			t.Errorf("scrape covers no %s* metrics; catalogue test lost coverage", want)

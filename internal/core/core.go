@@ -30,6 +30,7 @@ import (
 	"cmtk/internal/cmi"
 	"cmtk/internal/data"
 	"cmtk/internal/demarcation"
+	"cmtk/internal/durable"
 	"cmtk/internal/event"
 	"cmtk/internal/guarantee"
 	"cmtk/internal/rid"
@@ -55,6 +56,26 @@ type Config struct {
 	// Network overrides the in-process bus (e.g. a TCP mesh).  When nil a
 	// Bus on the deployment clock is used.
 	Network transport.Network
+	// Trace, when non-nil, is the event trace the deployment records into
+	// instead of a fresh one.  A restarted deployment that shares its
+	// predecessor's trace lets the checker and the guarantees see the whole
+	// history across the crash.
+	Trace *trace.Trace
+	// StateDir, when non-empty, makes the deployment crash-recoverable:
+	// Deploy opens a durable.Store there (tuned by DurableOptions) and
+	// every shell journals its CM-private items and every demarcation
+	// agent its limits into it.  Stop closes the store.  To journal the
+	// transport outbox too, point ReliableOptions.Durable at tk.Durable()
+	// — or at the same store — when building the Network.
+	StateDir string
+	// DurableOptions tunes the store opened for StateDir (fsync policy,
+	// segment size, metrics registry).
+	DurableOptions durable.Options
+	// Durable supplies an already-open store instead of StateDir — the
+	// caller keeps ownership (Stop does not close it).  Harnesses use this
+	// to share one store between the toolkit and a Reliable network, and
+	// to simulate crashes with store.Crash.
+	Durable *durable.Store
 }
 
 // Site declares one information source.
@@ -107,6 +128,9 @@ type Toolkit struct {
 	ifaces    map[string]cmi.Interface // by site
 	entries   []guaranteeEntry
 	network   transport.Network
+	store     *durable.Store
+	ownStore  bool
+	restored  int
 }
 
 // New creates an empty deployment.
@@ -115,10 +139,14 @@ func New(cfg Config) *Toolkit {
 	if clock == nil {
 		clock = vclock.Real{}
 	}
+	tr := cfg.Trace
+	if tr == nil {
+		tr = trace.New(nil)
+	}
 	return &Toolkit{
 		cfg:    cfg,
 		clock:  clock,
-		tr:     trace.New(nil),
+		tr:     tr,
 		spec:   rule.NewSpec(),
 		shells: map[string]*shell.Shell{},
 		ifaces: map[string]cmi.Interface{},
@@ -276,11 +304,31 @@ func (tk *Toolkit) Deploy() error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	// Durable state: adopt the caller's store or open one in StateDir, then
+	// give every shell a journal for its CM-private items.
+	switch {
+	case tk.cfg.Durable != nil:
+		tk.store = tk.cfg.Durable
+	case tk.cfg.StateDir != "":
+		st, err := durable.Open(tk.cfg.StateDir, tk.cfg.DurableOptions)
+		if err != nil {
+			return fmt.Errorf("core: opening state dir: %w", err)
+		}
+		tk.store = st
+		tk.ownStore = true
+	}
 	opts := shell.Options{Clock: tk.clock, Trace: tk.tr, FireDelay: tk.cfg.FireDelay}
 	for _, name := range names {
 		sh := shell.New(name, tk.spec, opts)
 		for _, s := range byShell[name] {
 			sh.AddSite(s.RID.Site, tk.ifaces[s.RID.Site])
+		}
+		if tk.store != nil {
+			n, err := sh.EnableDurable(tk.store)
+			if err != nil {
+				return fmt.Errorf("core: durable state for shell %s: %w", name, err)
+			}
+			tk.restored += n
 		}
 		tk.shells[name] = sh
 	}
@@ -376,8 +424,22 @@ func (tk *Toolkit) Stop() {
 	for _, iface := range tk.ifaces {
 		iface.Close()
 	}
+	if tk.store != nil && tk.ownStore {
+		tk.store.Close()
+		tk.store = nil
+	}
 	tk.started = false
 }
+
+// Durable returns the deployment's durable store, if any — the one opened
+// for Config.StateDir or supplied through Config.Durable.  Callers use it
+// to share the store with a Reliable network, inspect WasClean, or inject
+// a crash in tests.
+func (tk *Toolkit) Durable() *durable.Store { return tk.store }
+
+// RestoredItems reports how many CM-private items Deploy recovered from
+// the durable store across all shells (0 on a cold start).
+func (tk *Toolkit) RestoredItems() int { return tk.restored }
 
 func (tk *Toolkit) shellNames() []string {
 	names := make([]string, 0, len(tk.shells))
@@ -614,6 +676,17 @@ func (tk *Toolkit) AddInequality(c Inequality) (xAgent, yAgent *demarcation.Agen
 	}
 	xAgent = demarcation.NewAgent(xShell, xSite, yShell.ID(), data.Item(c.X), data.Item(lx), true, c.Policy)
 	yAgent = demarcation.NewAgent(yShell, ySite, xShell.ID(), data.Item(c.Y), data.Item(ly), false, c.Policy)
+	if tk.store != nil {
+		// Recovered agents keep their persisted position through the Init
+		// below — re-running the deployment's initialization after a crash
+		// must not resurrect slack a side already granted away.
+		if _, err := xAgent.EnableDurable(tk.store); err != nil {
+			return nil, nil, fmt.Errorf("core: durable limits for %s: %w", xSite, err)
+		}
+		if _, err := yAgent.EnableDurable(tk.store); err != nil {
+			return nil, nil, fmt.Errorf("core: durable limits for %s: %w", ySite, err)
+		}
+	}
 	xAgent.Init(c.InitX, c.LimX)
 	yAgent.Init(c.InitY, c.LimY)
 	tk.AddGuarantee(demarcation.Guarantee(c.X, c.Y), xSite, ySite)

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"cmtk/internal/data"
+	"cmtk/internal/durable"
 	"cmtk/internal/guarantee"
 	"cmtk/internal/rule"
 	"cmtk/internal/shell"
@@ -82,6 +83,13 @@ type Agent struct {
 	nextReq int64
 	pending map[int64]*pendingOp
 	stats   Stats
+
+	// durable state (see durable.go): dur journals every (value, limit)
+	// transition, recovered marks that prior state was restored so Init
+	// keeps it, durErr latches the first journaling failure
+	dur       *durable.Log
+	recovered bool
+	durErr    error
 }
 
 type pendingOp struct {
@@ -107,11 +115,19 @@ func NewAgent(sh *shell.Shell, site, peerShell string, item, limit data.ItemName
 }
 
 // Init sets the initial value and limit.  The deployment must choose
-// initial values satisfying X ≤ Lx ≤ Ly ≤ Y globally.
+// initial values satisfying X ≤ Lx ≤ Ly ≤ Y globally.  When durable state
+// was recovered (EnableDurable), the recovered position wins over the
+// arguments: re-running the deployment's initialization after a crash
+// must not reset slack this side already gave away.
 func (a *Agent) Init(value, limit int64) {
 	a.mu.Lock()
-	a.value = value
-	a.lim = limit
+	if a.recovered {
+		value, limit = a.value, a.lim
+	} else {
+		a.value = value
+		a.lim = limit
+		a.persistLocked()
+	}
 	a.mu.Unlock()
 	a.sh.RequestWrite(a.item, data.NewInt(value))
 	a.sh.WriteAux(a.limit, data.NewInt(limit))
@@ -161,6 +177,7 @@ func (a *Agent) Update(delta int64, onDone func(ok bool)) {
 	if a.safeLocally(nv) {
 		a.value = nv
 		a.stats.LocalOps++
+		a.persistLocked()
 		a.mu.Unlock()
 		a.sh.RequestWrite(a.item, data.NewInt(nv))
 		onDone(true)
@@ -255,6 +272,10 @@ func (a *Agent) grant(requested int64) int64 {
 	newLim := a.lim
 	if g > 0 {
 		a.stats.GrantsGiven++
+		// Persist before replying: once the grant is on the wire the peer
+		// will widen its limit, so this side's narrowing must survive a
+		// crash or the global ordering breaks.
+		a.persistLocked()
 	}
 	a.mu.Unlock()
 	if g > 0 {
@@ -277,6 +298,7 @@ func (a *Agent) onGrant(id, amount int64) {
 		a.lim -= amount
 	}
 	newLim := a.lim
+	a.persistLocked()
 	a.mu.Unlock()
 	a.sh.WriteAux(a.limit, data.NewInt(newLim))
 	if !ok {
@@ -286,6 +308,7 @@ func (a *Agent) onGrant(id, amount int64) {
 	nv := a.value + op.delta
 	if a.safeLocally(nv) {
 		a.value = nv
+		a.persistLocked()
 		a.mu.Unlock()
 		a.sh.RequestWrite(a.item, data.NewInt(nv))
 		op.onDone(true)

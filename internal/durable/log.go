@@ -1,0 +1,352 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCrashed is returned by mutating Log methods after the owning Store's
+// Crash hook fired (crash simulation in tests and the harness).
+var ErrCrashed = errors.New("durable: store crashed")
+
+// ckptType is the reserved frame type of a checkpoint file's single
+// record; component record types must stay below it.
+const ckptType byte = 0xFF
+
+// Log is one named write-ahead log plus its checkpoint file, owned by a
+// Store.  Appends go to the active segment under the store's fsync
+// policy; Checkpoint atomically replaces the snapshot and truncates the
+// segments.  Log is safe for concurrent use.
+type Log struct {
+	name    string
+	dir     string
+	opts    Options
+	met     logMetrics
+	crashed *atomic.Bool // shared with the owning Store
+
+	mu        sync.Mutex
+	f         *os.File // active segment
+	seg       int      // active segment index
+	segSize   int64
+	totalSize int64 // across live segments
+	nsegs     int
+	lastSync  time.Time
+	closed    bool
+}
+
+// Recovery is what a Log found on open: the last checkpoint snapshot (nil
+// when none was ever taken), the valid records appended after it in
+// order, any damage that cut the scan short, and whether the store was
+// last closed cleanly (in which case the records are a flushed tail, not
+// evidence of a crash).
+type Recovery struct {
+	Snapshot []byte
+	Records  []Record
+	Damage   []Damage
+	Clean    bool
+}
+
+// readCheckpoint parses a checkpoint file: one frame of ckptType whose
+// data is [8-byte first post-checkpoint segment index][snapshot].
+func readCheckpoint(log, path string) (snapshot []byte, minSeg int, dmg *Damage, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil, nil
+		}
+		return nil, 0, nil, err
+	}
+	base := filepath.Base(path)
+	bad := func(detail string) (*Damage, error) {
+		return &Damage{Log: log, Segment: base, Kind: "checkpoint", Detail: detail}, nil
+	}
+	if len(raw) < frameHeader+9 {
+		dmg, err = bad(fmt.Sprintf("file of %d byte(s) shorter than a checkpoint frame", len(raw)))
+		return nil, 0, dmg, err
+	}
+	n := binary.LittleEndian.Uint32(raw[0:4])
+	sum := binary.LittleEndian.Uint32(raw[4:8])
+	if int64(n) != int64(len(raw)-frameHeader) {
+		dmg, err = bad("frame length does not match file size")
+		return nil, 0, dmg, err
+	}
+	payload := raw[frameHeader:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		dmg, err = bad("checksum mismatch")
+		return nil, 0, dmg, err
+	}
+	if payload[0] != ckptType {
+		dmg, err = bad(fmt.Sprintf("unexpected record type 0x%02x", payload[0]))
+		return nil, 0, dmg, err
+	}
+	minSeg = int(binary.LittleEndian.Uint64(payload[1:9]))
+	return append([]byte(nil), payload[9:]...), minSeg, nil, nil
+}
+
+func (l *Log) ckptPath() string { return filepath.Join(l.dir, l.name+".ckpt") }
+
+// openLog recovers a log's state from dir and opens it for appending.
+// Damage is repaired in place: a damaged segment is truncated at its last
+// valid record and everything after the cut — including whole later
+// segments — is removed, so the on-disk log always equals what recovery
+// replayed.
+func openLog(dir, name string, opts Options, met walMetrics, clean bool, crashed *atomic.Bool) (*Log, *Recovery, error) {
+	l := &Log{
+		name: name, dir: dir, opts: opts,
+		met: met.forLog(name), crashed: crashed,
+	}
+	rec := &Recovery{Clean: clean}
+
+	snapshot, minSeg, dmg, err := readCheckpoint(name, l.ckptPath())
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: reading checkpoint of %s: %w", name, err)
+	}
+	if dmg != nil {
+		// The checkpoint is atomic (temp + rename), so damage here is bit
+		// rot, not a torn write.  The snapshot is lost; the log segments
+		// are still replayable on their own.
+		rec.Damage = append(rec.Damage, *dmg)
+		l.met.damage(dmg.Kind).Inc()
+	} else {
+		rec.Snapshot = snapshot
+	}
+	if fi, err := os.Stat(l.ckptPath()); err == nil {
+		l.met.ckpt.Set(fi.ModTime().Unix())
+	}
+
+	idxs, err := segments(dir, name)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: listing segments of %s: %w", name, err)
+	}
+	cut := false // a damaged segment was found; later segments are orphans
+	for _, idx := range idxs {
+		path := filepath.Join(dir, segName(name, idx))
+		if idx < minSeg {
+			// Snapshotted by the checkpoint but not yet deleted (crash
+			// between the checkpoint rename and the truncation): routine
+			// cleanup, not damage.
+			os.Remove(path)
+			continue
+		}
+		if cut {
+			d := Damage{Log: name, Segment: segName(name, idx), Kind: "orphaned-segment",
+				Detail: "follows a damaged segment; its records are past the failure and cannot be replayed"}
+			rec.Damage = append(rec.Damage, d)
+			l.met.damage(d.Kind).Inc()
+			os.Remove(path)
+			continue
+		}
+		recs, valid, dmg, err := scanSegment(name, path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("durable: scanning %s: %w", path, err)
+		}
+		rec.Records = append(rec.Records, recs...)
+		if dmg != nil {
+			rec.Damage = append(rec.Damage, *dmg)
+			l.met.damage(dmg.Kind).Inc()
+			if err := os.Truncate(path, valid); err != nil {
+				return nil, nil, fmt.Errorf("durable: truncating %s: %w", path, err)
+			}
+			cut = true
+		}
+		l.seg = idx
+		l.segSize = valid
+		l.totalSize += valid
+		l.nsegs++
+	}
+	if l.nsegs == 0 {
+		l.seg = minSeg
+		if l.seg == 0 {
+			l.seg = 1
+		}
+		path := filepath.Join(dir, segName(name, l.seg))
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("durable: creating segment: %w", err)
+		}
+		l.f = f
+		l.nsegs = 1
+	} else {
+		path := filepath.Join(dir, segName(name, l.seg))
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("durable: opening segment: %w", err)
+		}
+		l.f = f
+	}
+	l.met.replayed.Add(uint64(len(rec.Records)))
+	l.met.size.Set(l.totalSize)
+	l.met.segments.Set(int64(l.nsegs))
+	return l, rec, nil
+}
+
+// Name returns the log's name within its store.
+func (l *Log) Name() string { return l.name }
+
+// Append journals one record under the store's fsync policy.
+func (l *Log) Append(typ byte, data []byte) error {
+	if typ >= ckptType {
+		return fmt.Errorf("durable: record type 0x%02x is reserved", typ)
+	}
+	if l.crashed.Load() {
+		return ErrCrashed
+	}
+	frame := appendFrame(nil, typ, data)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("durable: log %s is closed", l.name)
+	}
+	if l.segSize > 0 && l.segSize+int64(len(frame)) > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("durable: append to %s: %w", l.name, err)
+	}
+	l.segSize += int64(len(frame))
+	l.totalSize += int64(len(frame))
+	l.met.appends.Inc()
+	l.met.bytes.Add(uint64(len(frame)))
+	l.met.size.Set(l.totalSize)
+	switch l.opts.Sync {
+	case SyncAlways:
+		return l.syncLocked()
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opts.SyncEvery {
+			return l.syncLocked()
+		}
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment and starts the next one.  The
+// sealed segment is flushed (unless the policy is SyncNever) so its tail
+// cannot tear once it stops being written.
+func (l *Log) rotateLocked() error {
+	if l.opts.Sync != SyncNever {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.seg++
+	path := filepath.Join(l.dir, segName(l.name, l.seg))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: rotating %s: %w", l.name, err)
+	}
+	l.f = f
+	l.segSize = 0
+	l.nsegs++
+	l.met.segments.Set(int64(l.nsegs))
+	return nil
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("durable: fsync %s: %w", l.name, err)
+	}
+	l.met.fsyncs.Inc()
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Sync flushes the active segment regardless of policy.
+func (l *Log) Sync() error {
+	if l.crashed.Load() {
+		return ErrCrashed
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+// WALSize reports the current byte size of the live segments — the replay
+// cost of a crash right now.  Components use it to trigger checkpoints.
+func (l *Log) WALSize() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.totalSize
+}
+
+// Checkpoint atomically replaces the log's snapshot with the given full
+// state and truncates the segments: recovery then starts from the
+// snapshot and replays only records appended after this call.  The
+// snapshot file is written temp-fsync-rename-dirsync, so a crash at any
+// point leaves either the old checkpoint+log or the new.
+func (l *Log) Checkpoint(snapshot []byte) error {
+	if l.crashed.Load() {
+		return ErrCrashed
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("durable: log %s is closed", l.name)
+	}
+	// Seal the current segment and move to a fresh one; the checkpoint
+	// names it as the first post-checkpoint segment, so a crash between
+	// the rename and the deletes below just leaves stale segments that
+	// recovery discards by index.
+	if err := l.rotateLocked(); err != nil {
+		return err
+	}
+	data := make([]byte, 9, 9+len(snapshot))
+	data[0] = ckptType
+	binary.LittleEndian.PutUint64(data[1:9], uint64(l.seg))
+	data = append(data, snapshot...)
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(data))
+	if err := writeFileAtomic(l.ckptPath(), append(hdr[:], data...)); err != nil {
+		return fmt.Errorf("durable: writing checkpoint of %s: %w", l.name, err)
+	}
+	l.met.fsyncs.Add(2) // temp file + directory
+	for idx := l.seg - 1; idx >= 1; idx-- {
+		path := filepath.Join(l.dir, segName(l.name, idx))
+		if err := os.Remove(path); err != nil {
+			if os.IsNotExist(err) {
+				break
+			}
+			return fmt.Errorf("durable: truncating %s: %w", l.name, err)
+		}
+		l.nsegs--
+	}
+	l.totalSize = l.segSize
+	l.met.checkpoints.Inc()
+	l.met.ckpt.Set(time.Now().Unix())
+	l.met.size.Set(l.totalSize)
+	l.met.segments.Set(int64(l.nsegs))
+	return nil
+}
+
+// close flushes (best effort on crash) and closes the active segment.
+func (l *Log) close(flush bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var err error
+	if flush {
+		err = l.syncLocked()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

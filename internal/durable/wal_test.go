@@ -1,0 +1,298 @@
+package durable
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"cmtk/internal/obs"
+)
+
+func openStore(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustLog(t *testing.T, s *Store, name string) (*Log, *Recovery) {
+	t.Helper()
+	l, rec, err := s.Log(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, rec
+}
+
+// TestRecordRoundTripQuick is the WAL codec property test: any sequence
+// of (type, data) records appended and recovered comes back identical, in
+// order.
+func TestRecordRoundTripQuick(t *testing.T) {
+	reg := obs.NewRegistry()
+	root := t.TempDir()
+	check := func(types []byte, datas [][]byte) bool {
+		n := len(types)
+		if len(datas) < n {
+			n = len(datas)
+		}
+		dir, err := os.MkdirTemp(root, "q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir, Options{Metrics: reg, SegmentBytes: 256}) // force rotation too
+		if err != nil {
+			t.Fatal(err)
+		}
+		lg, _, err := s.Log("prop")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]Record, 0, n)
+		for i := 0; i < n; i++ {
+			typ := types[i] % ckptType // component types stay below the reserved tag
+			if err := lg.Append(typ, datas[i]); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, Record{Type: typ, Data: datas[i]})
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir, Options{Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s2.Close()
+		_, rec, err := s2.Log("prop")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rec.Clean || len(rec.Damage) != 0 || len(rec.Records) != len(want) {
+			return false
+		}
+		for i, r := range rec.Records {
+			if r.Type != want[i].Type || !bytes.Equal(r.Data, want[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// corruptSetup appends records and returns the store dir and the path of
+// the single live segment.
+func corruptSetup(t *testing.T, recs []Record) (dir, seg string) {
+	t.Helper()
+	dir = t.TempDir()
+	s := openStore(t, dir, Options{})
+	lg, _ := mustLog(t, s, "j")
+	for _, r := range recs {
+		if err := lg.Append(r.Type, r.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, filepath.Join(dir, "j.000001.wal")
+}
+
+func reopen(t *testing.T, dir string) (*Store, *Recovery) {
+	t.Helper()
+	s := openStore(t, dir, Options{})
+	_, rec := mustLog(t, s, "j")
+	return s, rec
+}
+
+func threeRecords() []Record {
+	return []Record{
+		{Type: 1, Data: []byte("first record")},
+		{Type: 2, Data: []byte("second record")},
+		{Type: 3, Data: []byte("third record")},
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir, seg := corruptSetup(t, threeRecords())
+	// A torn write: half a frame header dangling at the tail.
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x21, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	s, rec := reopen(t, dir)
+	defer s.Close()
+	if len(rec.Records) != 3 {
+		t.Fatalf("records = %d, want the 3 intact ones", len(rec.Records))
+	}
+	if len(rec.Damage) != 1 || rec.Damage[0].Kind != "torn-tail" {
+		t.Fatalf("damage = %v, want one torn-tail", rec.Damage)
+	}
+	// The repair truncated the tail: appending and re-recovering works.
+	lg, _ := mustLog(t, s, "j")
+	if err := lg.Append(4, []byte("after repair")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rec2 := reopen(t, dir)
+	defer s2.Close()
+	if len(rec2.Records) != 4 || len(rec2.Damage) != 0 {
+		t.Fatalf("after repair: %d records, damage %v", len(rec2.Records), rec2.Damage)
+	}
+}
+
+func TestTruncatedSegment(t *testing.T) {
+	dir, seg := corruptSetup(t, threeRecords())
+	// Cut the file mid-record (inside the second record's payload).
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := int64(frameHeader + 1 + len("first record"))
+	if err := os.Truncate(seg, first+(fi.Size()-first)/2); err != nil {
+		t.Fatal(err)
+	}
+	s, rec := reopen(t, dir)
+	defer s.Close()
+	if len(rec.Records) != 1 || string(rec.Records[0].Data) != "first record" {
+		t.Fatalf("records = %v, want only the first", rec.Records)
+	}
+	if len(rec.Damage) != 1 || rec.Damage[0].Kind != "torn-tail" {
+		t.Fatalf("damage = %v, want one torn-tail", rec.Damage)
+	}
+}
+
+// TestBitFlipStopsReplay proves recovery never replays a record past a
+// CRC failure: flipping one bit in the second record cuts the log after
+// the first, and the intact third record is NOT recovered.
+func TestBitFlipStopsReplay(t *testing.T) {
+	dir, seg := corruptSetup(t, threeRecords())
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := frameHeader + 1 + len("first record") + frameHeader + 3
+	raw[second] ^= 0x40
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, rec := reopen(t, dir)
+	defer s.Close()
+	if len(rec.Records) != 1 || rec.Records[0].Type != 1 {
+		t.Fatalf("records = %v, want replay to stop before the flipped record", rec.Records)
+	}
+	if len(rec.Damage) != 1 || rec.Damage[0].Kind != "crc" {
+		t.Fatalf("damage = %v, want one crc", rec.Damage)
+	}
+}
+
+// TestOrphanedSegmentsDropped: damage in an early segment makes every
+// later segment unreplayable (they are past the failure), and recovery
+// reports each as damage instead of panicking or replaying them.
+func TestOrphanedSegmentsDropped(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{SegmentBytes: 32}) // rotate nearly every record
+	lg, _ := mustLog(t, s, "j")
+	for i := 0; i < 6; i++ {
+		if err := lg.Append(1, bytes.Repeat([]byte{byte('a' + i)}, 24)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "j.*.wal"))
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("want >=3 segments, got %v (%v)", segs, err)
+	}
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[frameHeader+2] ^= 0x01
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, rec := reopen(t, dir)
+	defer s2.Close()
+	if len(rec.Records) != 0 {
+		t.Fatalf("records = %d, want none (damage in the first segment)", len(rec.Records))
+	}
+	kinds := map[string]int{}
+	for _, d := range rec.Damage {
+		kinds[d.Kind]++
+	}
+	if kinds["crc"] != 1 || kinds["orphaned-segment"] != len(segs)-1 {
+		t.Fatalf("damage kinds = %v, want 1 crc and %d orphaned-segment", kinds, len(segs)-1)
+	}
+	// The orphans are gone from disk: a later append + recovery is sane.
+	left, _ := filepath.Glob(filepath.Join(dir, "j.*.wal"))
+	if len(left) != 1 {
+		t.Fatalf("segments after repair = %v, want only the truncated first", left)
+	}
+}
+
+func TestSegmentRotationRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{SegmentBytes: 64})
+	lg, _ := mustLog(t, s, "rot")
+	for i := 0; i < 20; i++ {
+		if err := lg.Append(byte(i%7), bytes.Repeat([]byte{byte(i)}, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openStore(t, dir, Options{})
+	defer s2.Close()
+	_, rec := mustLog(t, s2, "rot")
+	if len(rec.Records) != 20 || len(rec.Damage) != 0 {
+		t.Fatalf("recovered %d records (damage %v), want 20", len(rec.Records), rec.Damage)
+	}
+	for i, r := range rec.Records {
+		if r.Type != byte(i%7) || len(r.Data) != i {
+			t.Fatalf("record %d = {%d, %d bytes}, want {%d, %d bytes}", i, r.Type, len(r.Data), i%7, i)
+		}
+	}
+}
+
+func TestSyncPolicyFsyncCounts(t *testing.T) {
+	counts := map[SyncPolicy]uint64{}
+	for _, pol := range []SyncPolicy{SyncAlways, SyncNever} {
+		reg := obs.NewRegistry()
+		dir := t.TempDir()
+		s := openStore(t, dir, Options{Sync: pol, Metrics: reg})
+		lg, _ := mustLog(t, s, "p")
+		for i := 0; i < 50; i++ {
+			if err := lg.Append(1, []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		counts[pol] = reg.Counter("cmtk_wal_fsyncs_total", "", "log").With("p").Value()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if counts[SyncAlways] < 50 {
+		t.Errorf("always policy fsynced %d times for 50 appends", counts[SyncAlways])
+	}
+	if counts[SyncNever] != 0 {
+		t.Errorf("never policy fsynced %d times before close", counts[SyncNever])
+	}
+}

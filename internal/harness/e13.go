@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"cmtk/internal/core"
+	"cmtk/internal/data"
+	"cmtk/internal/durable"
+	"cmtk/internal/guarantee"
+	"cmtk/internal/obs"
+	"cmtk/internal/trace"
+	"cmtk/internal/translator"
+	"cmtk/internal/transport"
+	"cmtk/internal/vclock"
+)
+
+// E13 is the crash-recovery ablation: the payroll copy constraint where
+// the sending shell is killed mid-outage and restarted.  Section 5 lets a
+// crash degrade to a *metric* failure only "if the database ... can
+// remember messages that need to be sent out upon recovery"; the durable
+// arms earn that by journaling the reliable transport's outbox and dedup
+// cursors (and the shells' CM-private items) into a write-ahead log, so
+// the restarted process replays its unacked fires in order — the replica
+// converges and property 7 still holds.  The in-memory arm loses the
+// outbox with the process: the fires written during the outage are gone
+// for good, the leads guarantee FAILS, and the replica ends stale.
+//
+// The fsync policy arms (always / interval / never) all recover fully
+// here — an in-process crash cannot lose the OS page cache, only a power
+// failure can — so what the table shows is the price of each policy: the
+// fsyncs column is the count of fsync calls each arm paid for its
+// power-failure window.
+func E13(updates int) Table {
+	tbl := Table{
+		ID:    "E13",
+		Title: "Crash recovery ablation: durable WAL state vs in-memory across a restart",
+		Ref:   "Section 5, Appendix A.2 property 7",
+		Columns: []string{"state", "wal-sync", "updates", "follows", "leads",
+			"prop-7 violations", "wal replayed", "fsyncs", "final value correct"},
+	}
+	type arm struct {
+		name    string
+		durable bool
+		sync    durable.SyncPolicy
+	}
+	arms := []arm{
+		{"in-memory", false, 0},
+		{"durable", true, durable.SyncAlways},
+		{"durable", true, durable.SyncInterval},
+		{"durable", true, durable.SyncNever},
+	}
+	// Every log the deployment journals: the two reliable-transport
+	// journals and the two shells' private-item journals.
+	logs := []string{"rel-shell-A", "rel-shell-B", "shell-shell-A", "shell-shell-B"}
+	for _, a := range arms {
+		clk := vclock.NewVirtual(vclock.Epoch)
+		// The trace and the databases survive the crash; the process state
+		// (transport, shells) does not.
+		tr := trace.New(nil)
+		dbA := newEmployeesDB("branch")
+		dbB := newEmployeesDB("hq")
+		reg := obs.NewRegistry()
+		dir, err := os.MkdirTemp("", "cmtk-e13-")
+		must(err)
+
+		// boot assembles one incarnation of the deployment over the shared
+		// clock, trace and databases.
+		boot := func() (*core.Toolkit, *transport.Flaky, *durable.Store) {
+			var store *durable.Store
+			if a.durable {
+				st, err := durable.Open(dir, durable.Options{Sync: a.sync, Metrics: reg})
+				must(err)
+				store = st
+			}
+			flaky := transport.NewFlaky(transport.NewBus(clk, 100*time.Millisecond),
+				transport.FlakyOptions{Clock: clk, Seed: 13})
+			network := transport.NewReliable(flaky, transport.ReliableOptions{
+				Clock: clk, RetryInterval: time.Second, MaxBackoff: 4 * time.Second,
+				FailThreshold: 2, Seed: 13, Metrics: reg, Durable: store,
+			})
+			tk := core.New(core.Config{Clock: clk, Network: network, Trace: tr, Durable: store})
+			must(tk.AddSite(core.Site{RID: notifyRID("A", "salary1"), Local: &translator.LocalStores{Rel: dbA}}))
+			must(tk.AddSite(core.Site{RID: writableRID("B", "salary2"), Local: &translator.LocalStores{Rel: dbB}}))
+			must(tk.AddCopy(core.CopyConstraint{X: "salary1", Y: "salary2", Arity: 1, Strategy: "notify"}))
+			must(tk.Deploy())
+			must(tk.Start())
+			return tk, flaky, store
+		}
+		tk, flaky, store := boot()
+		p := &payroll{tk: tk, clk: clk, dbA: dbA, dbB: dbB, notifyA: true}
+
+		// Healthy phase: updates propagate and are acknowledged.
+		val := int64(1000)
+		for i := 0; i < updates; i++ {
+			p.appWrite("e1", val)
+			val++
+			clk.Advance(time.Second)
+		}
+		clk.Advance(10 * time.Second)
+
+		// Outage phase: the link partitions, then the final values are
+		// written — they buffer in the sender's outbox (and, in the durable
+		// arms, in its journal).
+		flaky.PartitionBoth("shell-A", "shell-B")
+		final := val
+		for i := 0; i < updates; i++ {
+			final = val
+			p.appWrite("e1", val)
+			val++
+			clk.Advance(time.Second)
+		}
+
+		// Crash: nothing after this instant persists.  The in-memory arm
+		// loses its outbox with the process.
+		if store != nil {
+			store.Crash()
+		}
+		tk.Stop()
+		if store != nil {
+			store.Close()
+		}
+		clk.Advance(5 * time.Second)
+
+		// Restart: a fresh incarnation over the same state directory, with
+		// a healed link.  The durable arms replay their journaled outbox in
+		// order; dedup cursors survive too, so replay is exactly-once.
+		tk2, _, store2 := boot()
+		p.tk = tk2
+		var replayed uint64
+		for _, lg := range logs {
+			replayed += reg.Counter("cmtk_wal_recovery_replayed_total", "", "log").With(lg).Value()
+		}
+		clk.Advance(time.Minute)
+		// A late write on another key moves the trace end well past the
+		// settle window, so values lost in the crash cannot hide behind the
+		// leads guarantee's settle excusal.
+		p.appWrite("e2", 77)
+		clk.Advance(40 * time.Second)
+
+		follows := guarantee.Follows{X: "salary1", Y: "salary2"}.Check(tr)
+		leads := guarantee.Leads{X: "salary1", Y: "salary2", Settle: 30 * time.Second}.Check(tr)
+		prop7 := 0
+		for _, v := range tk2.CheckTrace() {
+			if v.Property == 7 {
+				prop7++
+			}
+		}
+		var fsyncs uint64
+		for _, lg := range logs {
+			fsyncs += reg.Counter("cmtk_wal_fsyncs_total", "", "log").With(lg).Value()
+		}
+		res, _ := dbB.Exec("SELECT salary FROM employees WHERE empid = 'e1'")
+		finalOK := len(res.Rows) == 1 && res.Rows[0][0].Equal(data.NewInt(final))
+		sync := "-"
+		if a.durable {
+			sync = a.sync.String()
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			a.name, sync, fmt.Sprint(2 * updates),
+			holdsMark(follows.Holds), holdsMark(leads.Holds),
+			fmt.Sprint(prop7), fmt.Sprint(replayed), fmt.Sprint(fsyncs),
+			fmt.Sprint(finalOK),
+		})
+		tk2.Stop()
+		if store2 != nil {
+			store2.Close()
+		}
+		os.RemoveAll(dir)
+	}
+	tbl.Notes = append(tbl.Notes,
+		"expected shape: the durable arms journal the outbox, so the restarted process",
+		"replays the mid-outage fires in order (wal replayed > 0), the replica converges",
+		"(final value correct) and every ordering guarantee holds — the crash stayed a",
+		"metric failure; the in-memory arm loses the outbox with the process: leads",
+		"FAILS and the replica ends stale.  All fsync policies recover fully from a",
+		"process crash (the page cache survives); the fsyncs column is the price each",
+		"policy pays to also survive a power failure")
+	return tbl
+}

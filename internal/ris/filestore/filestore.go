@@ -135,12 +135,32 @@ func (s *Store) mutate(file string, f func(map[string]string)) error {
 		b.WriteString(escape(recs[k]))
 		b.WriteByte('\n')
 	}
+	// Atomic rewrite that is actually durable: the temp file's contents
+	// must reach the disk before the rename, and the rename itself before
+	// success is reported — otherwise a power failure can leave the new
+	// name pointing at zero-length or stale data.
 	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("filestore: write %s: %w", file, ris.Transient(err))
+	}
+	if _, err := tf.WriteString(b.String()); err != nil {
+		tf.Close()
+		return fmt.Errorf("filestore: write %s: %w", file, ris.Transient(err))
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("filestore: sync %s: %w", file, ris.Transient(err))
+	}
+	if err := tf.Close(); err != nil {
 		return fmt.Errorf("filestore: write %s: %w", file, ris.Transient(err))
 	}
 	if err := os.Rename(tmp, p); err != nil {
 		return fmt.Errorf("filestore: commit %s: %w", file, ris.Transient(err))
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"cmtk/internal/cmi"
 	"cmtk/internal/data"
+	"cmtk/internal/durable"
 	"cmtk/internal/event"
 	"cmtk/internal/obs"
 	"cmtk/internal/rule"
@@ -61,9 +62,13 @@ type Shell struct {
 	cancels   []func()
 	started   bool
 
-	// private CM data (Section 3.2: "Each CM-Shell can have private data")
+	// private CM data (Section 3.2: "Each CM-Shell can have private data");
+	// dur journals every write when durable state is enabled, durErr
+	// latches the first journaling failure (both guarded by privMu)
 	privMu  sync.RWMutex
 	private data.Interpretation
+	dur     *durable.Log
+	durErr  error
 
 	// CM-initiated writes pending confirmation, to tell W from Ws when the
 	// underlying source's trigger fires for our own write.
@@ -528,9 +533,7 @@ func (s *Shell) Spontaneous(item data.ItemName, old, new data.Value) {
 	}
 	if _, hosted := s.sites[site]; hosted {
 		if s.spec.Private[item.Base] == site {
-			s.privMu.Lock()
-			s.private.Set(item, new)
-			s.privMu.Unlock()
+			s.setPrivate(item, new)
 		}
 	}
 	s.post(func() {
@@ -667,7 +670,16 @@ func (s *Shell) receive(m transport.Message) {
 		}
 		trigger := m.TriggerEvent
 		if trigger == nil {
-			trigger = stubTrigger(m.Trigger)
+			// A message that lost its in-process event pointer (journaled
+			// replay after a restart, or a cross-process mesh): when the
+			// deployment shares one trace, the original trigger is still in
+			// it — re-link so provenance checking (property 5) survives.
+			if e := s.tr.Find(m.Trigger.Seq); e != nil && e.Site == m.Trigger.Site &&
+				e.Desc.String() == m.Trigger.Desc {
+				trigger = e
+			} else {
+				trigger = stubTrigger(m.Trigger)
+			}
 		}
 		s.m.recvFires.Inc()
 		s.post(func() { s.executeSteps(r, b, trigger) })
@@ -713,9 +725,7 @@ func (s *Shell) RequestWrite(item data.ItemName, v data.Value) {
 			iface = nil // CM-private items never go through a translator
 		}
 		if iface == nil {
-			s.privMu.Lock()
-			s.private.Set(item, v)
-			s.privMu.Unlock()
+			s.setPrivate(item, v)
 			writeRule := s.implicitRule("write", site, item)
 			w := s.record(&event.Event{Time: s.clock.Now(), Site: site,
 				Desc: event.W(item, v), Rule: writeRule.ID, Trigger: wr})
@@ -882,18 +892,14 @@ func (s *Shell) emit(r rule.Rule, desc event.Desc, site string, trigger *event.E
 		// a database item performs the write immediately (no request hop).
 		if s.spec.Private[desc.Item.Base] != "" {
 			w := s.record(&event.Event{Time: now, Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
-			s.privMu.Lock()
-			s.private.Set(desc.Item, desc.Val)
-			s.privMu.Unlock()
+			s.setPrivate(desc.Item, desc.Val)
 			s.handleEvent(w)
 			return
 		}
 		iface := s.sites[site]
 		if iface == nil {
 			w := s.record(&event.Event{Time: now, Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
-			s.privMu.Lock()
-			s.private.Set(desc.Item, desc.Val)
-			s.privMu.Unlock()
+			s.setPrivate(desc.Item, desc.Val)
 			s.handleEvent(w)
 			return
 		}
@@ -939,9 +945,7 @@ func (s *Shell) emit(r rule.Rule, desc event.Desc, site string, trigger *event.E
 }
 
 func (s *Shell) performPrivateWrite(r rule.Rule, desc event.Desc, site string, wr *event.Event) {
-	s.privMu.Lock()
-	s.private.Set(desc.Item, desc.Val)
-	s.privMu.Unlock()
+	s.setPrivate(desc.Item, desc.Val)
 	writeRule := s.implicitRule("write", site, desc.Item)
 	w := s.record(&event.Event{
 		Time: s.clock.Now(), Site: site,
@@ -1112,9 +1116,7 @@ func (s *Shell) ReadAux(item data.ItemName) (data.Value, bool) {
 // WriteAux initializes a CM-private data item (setup only; strategies
 // write private data through W effects).
 func (s *Shell) WriteAux(item data.ItemName, v data.Value) {
-	s.privMu.Lock()
-	defer s.privMu.Unlock()
-	s.private.Set(item, v)
+	s.setPrivate(item, v)
 }
 
 // OnFailure registers a failure observer.

@@ -53,6 +53,21 @@ func (t *Trace) Append(e *event.Event) *event.Event {
 	return e
 }
 
+// Find returns the recorded event with the given sequence number, or nil.
+// Append assigns sequence numbers densely from zero, so the lookup is a
+// direct index.  Deployments that share one trace across shells use this
+// to re-link a firing's trigger after the message lost its in-process
+// event pointer (a journaled replay, which crosses a process boundary in
+// spirit even when it does not in fact).
+func (t *Trace) Find(seq uint64) *event.Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if seq >= uint64(len(t.events)) {
+		return nil
+	}
+	return t.events[seq]
+}
+
 // Events returns a snapshot of the recorded events.
 func (t *Trace) Events() []*event.Event {
 	t.mu.Lock()

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"cmtk/internal/durable"
 	"cmtk/internal/obs"
 	"cmtk/internal/vclock"
 )
@@ -134,6 +135,16 @@ type ReliableOptions struct {
 	// Metrics is the registry the reliability layer's per-link counters
 	// land in; nil means obs.Default.
 	Metrics *obs.Registry
+	// Durable, when set, journals every endpoint's link state (epoch,
+	// outbox, acks, dedup cursors) to the store so a restarted process
+	// replays its unacked messages in order — the Section 5 condition for
+	// a crash to stay a metric failure.  Reliable.Join names each shell's
+	// journal "rel-"+shellID; direct NewReliableEndpoint constructions
+	// call EnableJournal themselves.
+	Durable *durable.Store
+	// CheckpointBytes is the journal size that triggers compaction into a
+	// checkpoint snapshot (default 256 KiB).
+	CheckpointBytes int64
 }
 
 func (o ReliableOptions) withDefaults() ReliableOptions {
@@ -151,6 +162,9 @@ func (o ReliableOptions) withDefaults() ReliableOptions {
 	}
 	if o.OutboxLimit <= 0 {
 		o.OutboxLimit = 1024
+	}
+	if o.CheckpointBytes <= 0 {
+		o.CheckpointBytes = 256 << 10
 	}
 	return o
 }
@@ -173,6 +187,11 @@ func NewReliable(inner Network, opts ReliableOptions) *Reliable {
 // Join implements Network.
 func (r *Reliable) Join(shellID string, recv func(Message)) (Endpoint, error) {
 	re := NewReliableEndpoint(recv, r.opts)
+	if r.opts.Durable != nil {
+		if _, err := re.EnableJournal(r.opts.Durable, "rel-"+shellID); err != nil {
+			return nil, err
+		}
+	}
 	inner, err := r.inner.Join(shellID, re.Deliver)
 	if err != nil {
 		return nil, err
@@ -283,6 +302,11 @@ type ReliableEndpoint struct {
 	in       map[string]*relIn
 	handlers []func(LinkEvent)
 	closed   bool
+
+	// durable journal (nil until EnableJournal); jErr latches the first
+	// journaling failure, after which the journal is treated as dead.
+	j    *durable.Log
+	jErr error
 }
 
 // NewReliableEndpoint creates an unbound reliable endpoint delivering
@@ -438,6 +462,8 @@ func (r *ReliableEndpoint) Send(to string, m Message) error {
 	o.q = append(o.q, relMsg{seq: seq, m: wm})
 	o.mSends.Inc()
 	o.mDepth.Set(int64(len(o.q)))
+	r.journalLocked(jSend, jSendRec{Peer: to, Seq: seq, Msg: wm})
+	r.maybeCheckpointLocked()
 	out := withBase(wm, o.q[0].seq)
 	r.scheduleLocked(to, o)
 	r.mu.Unlock()
@@ -480,6 +506,9 @@ func (r *ReliableEndpoint) retry(to string) {
 		o.degraded = false
 		o.mGaveUp.Add(uint64(len(dropped)))
 		o.mDepth.Set(0)
+		// The drop is permanent state: journal a synthetic full ack so a
+		// restart does not resurrect the abandoned outbox.
+		r.journalLocked(jAck, jAckRec{Peer: to, Ack: o.nextSeq})
 		evs = append(evs, LinkEvent{
 			Kind: LinkGaveUp, Peer: to, Err: o.lastErr, Attempts: r.opts.RetryBudget,
 			Messages: len(dropped), Fires: countFires(dropped),
@@ -541,15 +570,12 @@ func (r *ReliableEndpoint) Deliver(m Message) {
 	base, _ := strconv.ParseUint(m.Payload[relBaseKey], 10, 64)
 	from := m.From
 	r.mu.Lock()
-	in := r.in[from]
-	if in == nil {
-		in = &relIn{
-			epoch: epoch, hold: map[uint64]Message{},
-			mDups: r.met.dups.With(from),
-			mHeld: r.met.held.With(from),
-		}
-		r.in[from] = in
+	fresh := r.in[from] == nil
+	in := r.inLink(from)
+	if fresh {
+		in.epoch = epoch
 	}
+	prevEpoch, prevNext := in.epoch, in.next
 	if epoch < in.epoch {
 		// A straggler from a sender incarnation that has since restarted.
 		r.mu.Unlock()
@@ -607,6 +633,13 @@ func (r *ReliableEndpoint) Deliver(m Message) {
 			in.hold[seq] = m
 			in.mHeld.Inc()
 		}
+	}
+	if in.epoch != prevEpoch || in.next != prevNext || fresh {
+		// The dedup cursor moved (or the link is new): journal it so a
+		// restarted receiver keeps discarding retransmits it already
+		// processed instead of re-executing them.
+		r.journalLocked(jIn, jInRec{Peer: from, Epoch: in.epoch, Next: in.next})
+		r.maybeCheckpointLocked()
 	}
 	ack := in.next
 	inner := r.inner
@@ -682,6 +715,8 @@ func (r *ReliableEndpoint) handleAck(m Message) {
 	if n > 0 {
 		o.mAcked.Add(uint64(n))
 		o.mDepth.Set(int64(len(o.q)))
+		r.journalLocked(jAck, jAckRec{Peer: peer, Ack: ack})
+		r.maybeCheckpointLocked()
 		o.attempts = 0
 		o.lastErr = nil
 		if o.degraded {
@@ -740,6 +775,10 @@ func (r *ReliableEndpoint) Close() error {
 			o.timer = nil
 		}
 	}
+	// A clean detach checkpoints the journal so the next incarnation
+	// recovers from a snapshot instead of replaying the whole log; after a
+	// crash hook this is a no-op (the journal is already dead).
+	r.checkpointLocked()
 	inner := r.inner
 	r.mu.Unlock()
 	if inner != nil {
