@@ -4,15 +4,21 @@
 //
 // Usage:
 //
-//	cmbench [-scale N] [-exp E1,E2,...] [-obs]
+//	cmbench [-scale N] [-exp E1,E2,...] [-obs] [-json FILE]
 //
 // -obs snapshots the process-wide metrics registry around each
 // experiment and prints the per-experiment deltas (every counter and
 // histogram series that moved), so a run doubles as an instrumentation
 // audit.  See OBSERVABILITY.md for the metric catalogue.
+//
+// -json writes the E14 engine-saturation rows (old path vs new path,
+// events/sec, ns/event, B/event, allocs/event per grid point) to FILE as
+// a benchstat-friendly JSON array, so successive runs can be diffed; the
+// committed BENCH_E14.json at the repo root is generated this way.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,9 +30,26 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "workload scale factor")
-	exps := flag.String("exp", "all", "comma-separated experiment ids (E1..E13, F1, F2) or 'all'")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (E1..E14, F1, F2) or 'all'")
 	obsMode := flag.Bool("obs", false, "print per-experiment metric deltas from the obs registry")
+	jsonOut := flag.String("json", "", "write E14 saturation rows to this file as JSON and exit")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		rows := harness.E14Rows(1000 * *scale)
+		buf, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cmbench: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cmbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d E14 rows to %s\n", len(rows), *jsonOut)
+		return
+	}
 
 	runners := map[string]func() harness.Table{
 		"E1":  func() harness.Table { return harness.E1(100 * *scale) },
@@ -42,10 +65,11 @@ func main() {
 		"E11": func() harness.Table { return harness.E11(4 * *scale) },
 		"E12": func() harness.Table { return harness.E12(3 * *scale) },
 		"E13": func() harness.Table { return harness.E13(3 * *scale) },
+		"E14": func() harness.Table { return harness.E14(1000 * *scale) },
 		"F1":  func() harness.Table { return harness.F1(100 * *scale) },
 		"F2":  func() harness.Table { return harness.F2(30 * *scale) },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "F1", "F2"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "F1", "F2"}
 
 	var selected []string
 	if *exps == "all" {
@@ -54,7 +78,7 @@ func main() {
 		for _, id := range strings.Split(*exps, ",") {
 			id = strings.TrimSpace(strings.ToUpper(id))
 			if _, ok := runners[id]; !ok {
-				fmt.Fprintf(os.Stderr, "cmbench: unknown experiment %q (want E1..E13, F1, F2)\n", id)
+				fmt.Fprintf(os.Stderr, "cmbench: unknown experiment %q (want E1..E14, F1, F2)\n", id)
 				os.Exit(2)
 			}
 			selected = append(selected, id)

@@ -158,16 +158,71 @@ func (d Desc) Equal(e Desc) bool {
 // trigger), extended with the site at which the event occurs ("each event
 // has a unique site") and a global sequence number used for deterministic
 // ordering and tracing.
+//
+// The old and new interpretations are views, read through Old and New:
+// a trace that stores state as per-item version timelines installs a
+// StateSource and the views are reconstructed on demand, so appending an
+// event costs O(1) instead of cloning the whole interpretation.  Events
+// that never joined such a trace (stub triggers, hand-built tests) carry
+// eager interpretations set with SetStates.
 type Event struct {
 	Time    time.Time
 	Seq     uint64
 	Site    string
 	Desc    Desc
-	Old     data.Interpretation
-	New     data.Interpretation
 	Rule    string // ID of the rule whose firing generated this event; "" if spontaneous
 	Trigger *Event // event that caused Rule to fire; nil if spontaneous
+
+	// state views: eager interpretations win over the lazy source, so a
+	// test can override what a trace recorded.
+	old, new data.Interpretation
+	src      StateSource
 }
+
+// StateSource reconstructs the interpretations around an event from a
+// versioned store, keyed by the event's sequence number.
+type StateSource interface {
+	// StateBefore returns the interpretation in force before event seq.
+	StateBefore(seq uint64) data.Interpretation
+	// StateAfter returns the interpretation in force after event seq.
+	StateAfter(seq uint64) data.Interpretation
+}
+
+// Old returns the interpretation in force when the event occurred.  The
+// result must be treated as read-only when a StateSource is not installed
+// (it may alias state shared with neighbouring events).
+func (e *Event) Old() data.Interpretation {
+	if e.old != nil || e.src == nil {
+		return e.old
+	}
+	return e.src.StateBefore(e.Seq)
+}
+
+// New returns the interpretation the event left in force (property 2 of
+// Appendix A.2).  Read-only under the same rule as Old.
+func (e *Event) New() data.Interpretation {
+	if e.new != nil || e.src == nil {
+		return e.new
+	}
+	return e.src.StateAfter(e.Seq)
+}
+
+// SetStates installs eager old/new interpretations, overriding any
+// StateSource (used by cloning traces, stub triggers and tests).
+func (e *Event) SetStates(old, new data.Interpretation) {
+	e.old, e.new = old, new
+}
+
+// SetStateSource installs the lazy view source; the trace that assigned
+// the event's sequence number calls this during Append.
+func (e *Event) SetStateSource(src StateSource) { e.src = src }
+
+// HasEagerStates reports whether eager interpretations are installed, in
+// which case Old/New answer from them instead of the StateSource.
+// Sequential readers (the trace checker, guarantee walkers) use this to
+// replay state incrementally for source-backed events and pay the full
+// materialization only for overridden ones.
+func (e *Event) HasEagerStates() bool { return e.old != nil || e.new != nil }
 
 // Spontaneous reports whether the event occurred independently of the
 // constraint manager (Appendix A.2 property 4).

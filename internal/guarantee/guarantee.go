@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"cmtk/internal/data"
+	"cmtk/internal/event"
 	"cmtk/internal/rule"
 	"cmtk/internal/trace"
 	"cmtk/internal/vclock"
@@ -413,27 +414,22 @@ func (g Invariant) Formula() string { return fmt.Sprintf("(%s)@t for all t", g.P
 // Check implements Guarantee.
 func (g Invariant) Check(tr *trace.Trace) Report {
 	rep := Report{Guarantee: g.Name(), Formula: g.Formula(), Holds: true}
-	states := []struct {
-		at time.Time
-		in data.Interpretation
-	}{{at: time.Time{}, in: tr.Initial()}}
-	for _, e := range tr.Events() {
-		states = append(states, struct {
-			at time.Time
-			in data.Interpretation
-		}{e.Time, e.New})
-	}
-	for _, s := range states {
+	evalAt := func(at time.Time, in data.Interpretation) {
 		rep.Checked++
-		ok, err := rule.EvalBool(g.Pred, envOf(s.in))
+		ok, err := rule.EvalBool(g.Pred, envOf(in))
 		if err != nil {
-			rep.violate("evaluation error at %s: %v", s.at.Format(time.TimeOnly), err)
-			continue
+			rep.violate("evaluation error at %s: %v", at.Format(time.TimeOnly), err)
+			return
 		}
 		if !ok {
-			rep.violate("invariant false at %s in state %s", s.at.Format(time.TimeOnly), s.in)
+			rep.violate("invariant false at %s in state %s", at.Format(time.TimeOnly), in)
 		}
 	}
+	evalAt(time.Time{}, tr.Initial())
+	tr.WalkNewStates(func(e *event.Event, in data.Interpretation) bool {
+		evalAt(e.Time, in)
+		return true
+	})
 	return rep
 }
 
@@ -492,9 +488,10 @@ func (g ExistsWithin) Check(tr *trace.Trace) Report {
 			}
 		}
 		consider(time.Time{}, tr.Initial())
-		for _, e := range tr.Events() {
-			consider(e.Time, e.New)
-		}
+		tr.WalkNewStates(func(e *event.Event, in data.Interpretation) bool {
+			consider(e.Time, in)
+			return true
+		})
 		if inViol && end.Sub(violStart) > g.Kappa {
 			rep.violate("%s existed without %s for %s starting %s (unresolved at end of trace)",
 				ref, tgt, end.Sub(violStart), violStart.Format(time.TimeOnly))
@@ -530,7 +527,6 @@ func (g MonitorFlag) Formula() string {
 // state of the execution.
 func (g MonitorFlag) Check(tr *trace.Trace) Report {
 	rep := Report{Guarantee: g.Name(), Formula: g.Formula(), Holds: true}
-	events := tr.Events()
 	// equalAt reports whether X=Y held at all states in [from, to].
 	equalAt := func(from, to time.Time) bool {
 		if to.Before(from) {
@@ -540,31 +536,35 @@ func (g MonitorFlag) Check(tr *trace.Trace) Report {
 		if !st.Get(g.X).Equal(st.Get(g.Y)) {
 			return false
 		}
-		for _, e := range events {
+		equal := true
+		tr.WalkNewStates(func(e *event.Event, in data.Interpretation) bool {
 			if e.Time.After(to) {
-				break
-			}
-			if !e.Time.Before(from) && !e.New.Get(g.X).Equal(e.New.Get(g.Y)) {
 				return false
 			}
-		}
-		return true
+			if !e.Time.Before(from) && !in.Get(g.X).Equal(in.Get(g.Y)) {
+				equal = false
+				return false
+			}
+			return true
+		})
+		return equal
 	}
-	for _, e := range events {
-		if !e.New.Get(g.Flag).Truthy() {
-			continue
+	tr.WalkNewStates(func(e *event.Event, in data.Interpretation) bool {
+		if !in.Get(g.Flag).Truthy() {
+			return true
 		}
-		s, ok := ValueTime(e.New.Get(g.Tb))
+		s, ok := ValueTime(in.Get(g.Tb))
 		if !ok {
 			rep.violate("Flag set at %s but %s holds no time", e.Time.Format(time.TimeOnly), g.Tb)
-			continue
+			return true
 		}
 		rep.Checked++
 		if !equalAt(s, e.Time.Add(-g.Kappa)) {
 			rep.violate("Flag set at %s but %s != %s within [%s, t-%s]",
 				e.Time.Format(time.TimeOnly), g.X, g.Y, s.Format(time.TimeOnly), g.Kappa)
 		}
-	}
+		return true
+	})
 	return rep
 }
 
@@ -615,11 +615,12 @@ func (g Periodic) Check(tr *trace.Trace) Report {
 	if len(events) == 0 {
 		return rep
 	}
-	for _, e := range events {
+	tr.WalkNewStates(func(e *event.Event, in data.Interpretation) bool {
 		if g.inWindow(e.Time) {
-			evalAt(e.Time, e.New)
+			evalAt(e.Time, in)
 		}
-	}
+		return true
+	})
 	// Window openings: for each day spanned by the trace, if the opening
 	// instant lies within the trace, evaluate the state then.
 	start, end := events[0].Time, events[len(events)-1].Time

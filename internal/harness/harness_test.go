@@ -292,7 +292,7 @@ func TestF2PipelineOverTCP(t *testing.T) {
 
 func TestE10InOrderAblation(t *testing.T) {
 	tbl := E10(16)
-	if len(tbl.Rows) != 2 {
+	if len(tbl.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
 	// FIFO row: everything clean.
@@ -313,6 +313,16 @@ func TestE10InOrderAblation(t *testing.T) {
 	}
 	// Follows still holds: reordering cannot invent values.
 	wantHolds(t, tbl, 1, "follows")
+	// tcp-batch row: the batching TCP mesh keeps per-link FIFO, so the
+	// same checks as the fifo row stay clean over coalesced frames.
+	wantHolds(t, tbl, 2, "follows")
+	wantHolds(t, tbl, 2, "strict order")
+	if got := atoi(t, cell(t, tbl, 2, "prop-7 violations")); got != 0 {
+		t.Errorf("tcp-batch prop-7 = %d", got)
+	}
+	if got := cell(t, tbl, 2, "final value correct"); got != "true" {
+		t.Errorf("tcp-batch final = %q", got)
+	}
 }
 
 func TestE11ClockSkewMargin(t *testing.T) {

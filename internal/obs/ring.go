@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sync"
 	"time"
@@ -37,6 +38,13 @@ type FireTrace struct {
 	Outcome string `json:"outcome"`
 	Trigger string `json:"trigger,omitempty"` // trigger event descriptor
 	Seq     uint64 `json:"seq,omitempty"`     // trigger event sequence number
+
+	// TriggerDesc is the deferred form of Trigger: recording hot paths
+	// store the descriptor's Stringer instead of rendering it, and the
+	// ring renders on read (Events/WriteJSON).  When both are set, Trigger
+	// wins.  Boxing an existing pointer costs nothing; building the string
+	// per record cost two allocations per firing.
+	TriggerDesc fmt.Stringer `json:"-"`
 
 	// Hop timestamps on the recording shell's clock: Matched is the
 	// trigger event time, Dispatched when the firing left the matcher,
@@ -84,17 +92,27 @@ func (r *Ring) Record(ev FireTrace) uint64 {
 	return ev.ID
 }
 
-// Events returns the buffered records, oldest first.
+// Events returns the buffered records, oldest first, with any deferred
+// trigger descriptors rendered.
 func (r *Ring) Events() []FireTrace {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	var out []FireTrace
 	if len(r.buf) < r.cap {
 		// Not yet wrapped: everything is in write order already.
-		return append([]FireTrace(nil), r.buf...)
+		out = append([]FireTrace(nil), r.buf...)
+	} else {
+		out = make([]FireTrace, 0, r.cap)
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
 	}
-	out := make([]FireTrace, 0, r.cap)
-	out = append(out, r.buf[r.next:]...)
-	return append(out, r.buf[:r.next]...)
+	r.mu.Unlock()
+	for i := range out {
+		if out[i].Trigger == "" && out[i].TriggerDesc != nil {
+			out[i].Trigger = out[i].TriggerDesc.String()
+			out[i].TriggerDesc = nil
+		}
+	}
+	return out
 }
 
 // Total reports how many records were ever written (IDs run 1..Total).

@@ -209,6 +209,24 @@ type Spec struct {
 	// verbatim; package guarantee parses and checks them — deployments
 	// and cmctl consume the declarations from here.
 	Guarantees []string
+
+	// byID indexes Rules by ID for O(1) RuleByID on the per-message
+	// receive path.  Built by Index (the parser calls it); every hit is
+	// validated against Rules so a spec whose Rules were appended to after
+	// indexing still answers correctly via the scan fallback.
+	byID map[string]int
+}
+
+// Index (re)builds the rule-ID lookup index.  ParseSpec calls it after
+// validation; hand-assembled specs may call it once Rules are final.  Not
+// safe to call concurrently with RuleByID.
+func (s *Spec) Index() {
+	s.byID = make(map[string]int, len(s.Rules))
+	for i, r := range s.Rules {
+		if r.ID != "" {
+			s.byID[r.ID] = i
+		}
+	}
 }
 
 // NewSpec returns an empty spec.
@@ -333,12 +351,33 @@ func sortedKeys(m map[string]string) []string {
 	return ks
 }
 
-// RuleByID finds a rule by id.
+// RuleByID finds a rule by id.  Indexed specs (anything from ParseSpec)
+// answer in O(1); the index is verified against Rules on every hit so
+// mutation after indexing degrades to the linear scan instead of
+// returning stale rules.
 func (s *Spec) RuleByID(id string) (Rule, bool) {
+	if i, ok := s.byID[id]; ok && i < len(s.Rules) && s.Rules[i].ID == id {
+		return s.Rules[i], true
+	}
 	for _, r := range s.Rules {
 		if r.ID == id {
 			return r, true
 		}
 	}
 	return Rule{}, false
+}
+
+// RuleRefByID is RuleByID without the copy: it returns a pointer into
+// Rules, valid as long as the spec is not mutated.  The shell's receive
+// path uses this so each inbound firing does not heap-allocate a Rule.
+func (s *Spec) RuleRefByID(id string) (*Rule, bool) {
+	if i, ok := s.byID[id]; ok && i < len(s.Rules) && s.Rules[i].ID == id {
+		return &s.Rules[i], true
+	}
+	for i := range s.Rules {
+		if s.Rules[i].ID == id {
+			return &s.Rules[i], true
+		}
+	}
+	return nil, false
 }

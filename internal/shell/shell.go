@@ -34,6 +34,11 @@ type Options struct {
 	// Fires receives structured rule-firing trace records; nil means
 	// obs.DefaultRing.
 	Fires *obs.Ring
+	// ScanDispatch disables the (op, item base) dispatch index and matches
+	// every event against every owned rule by linear scan — the
+	// pre-optimization behavior, kept as the baseline arm of the E14
+	// saturation experiment.
+	ScanDispatch bool
 }
 
 // Shell is one CM-Shell process.
@@ -46,7 +51,7 @@ type Shell struct {
 
 	// run-to-completion event queue
 	qmu        sync.Mutex
-	queue      []func()
+	queue      funcRing
 	processing bool
 
 	// bases with an active notification subscription; only their writes
@@ -62,6 +67,20 @@ type Shell struct {
 	cancels   []func()
 	started   bool
 
+	// dispatchIdx maps (op, LHS item base) to the owned rules that can
+	// possibly match an event with that descriptor shape — item bases in
+	// templates are always literal, so the index is exact and handleEvent
+	// touches only candidate rules instead of scanning all of s.owned.
+	// Periodic rules live under {OpP, ""}.  Built by Start; scanAll keeps
+	// the pre-index linear scan alive for the E14 baseline arm.
+	dispatchIdx map[dispatchKey][]*rule.Rule
+	scanAll     bool
+
+	// scratch state for the match loop; handleEvent and executeSteps are
+	// serialized on the shell queue, so one instance per shell is safe.
+	scratchB event.Bindings
+	evalEnv  shellEnv
+
 	// private CM data (Section 3.2: "Each CM-Shell can have private data");
 	// dur journals every write when durable state is enabled, durErr
 	// latches the first journaling failure (both guarded by privMu)
@@ -73,11 +92,13 @@ type Shell struct {
 	// CM-initiated writes pending confirmation, to tell W from Ws when the
 	// underlying source's trigger fires for our own write.
 	pendMu  sync.Mutex
-	pending map[string]int
+	pending map[pendID]int
 
-	// implicit interface rules generated for provenance
+	// implicit interface rules generated for provenance, keyed by
+	// (kind, site, base) so cache hits on the write path do not build the
+	// "if:kind:site:base" id string every time
 	implMu   sync.Mutex
-	implicit map[string]rule.Rule
+	implicit map[implID]rule.Rule
 
 	// failures observed locally or propagated from peers
 	failMu     sync.Mutex
@@ -182,7 +203,7 @@ func New(id string, spec *rule.Spec, opts Options) *Shell {
 	if tr == nil {
 		tr = trace.New(nil)
 	}
-	return &Shell{
+	s := &Shell{
 		id:         id,
 		spec:       spec,
 		clock:      clock,
@@ -191,11 +212,15 @@ func New(id string, spec *rule.Spec, opts Options) *Shell {
 		sites:      map[string]cmi.Interface{},
 		routing:    map[string]string{},
 		private:    data.NewInterpretation(),
-		pending:    map[string]int{},
-		implicit:   map[string]rule.Rule{},
+		pending:    map[pendID]int{},
+		implicit:   map[implID]rule.Rule{},
 		subscribed: map[string]bool{},
+		scanAll:    opts.ScanDispatch,
+		scratchB:   event.Bindings{},
 		m:          newShellMetrics(opts.Metrics, opts.Fires, id),
 	}
+	s.evalEnv.s = s
+	return s
 }
 
 // ID returns the shell's identity.
@@ -267,6 +292,16 @@ func (s *Shell) sitesRoutedTo(peer string) []string {
 // site reached through the peer; dropped messages (overflow, exhausted
 // retry budget) are logical failures; recovery clears the link's metric
 // failures here and tells peers to do the same.
+// linkErrSuffix renders a link event's error for a failure message; the
+// batching TCP path reports delivery failures asynchronously, so the
+// event may carry no error at all.
+func linkErrSuffix(err error) string {
+	if err == nil {
+		return ""
+	}
+	return ": " + err.Error()
+}
+
 func (s *Shell) onLinkEvent(ev transport.LinkEvent) {
 	switch ev.Kind {
 	case transport.LinkRetry:
@@ -275,8 +310,8 @@ func (s *Shell) onLinkEvent(ev transport.LinkEvent) {
 		for _, site := range s.sitesRoutedTo(ev.Peer) {
 			s.reportFailure(cmi.Failure{
 				Kind: cmi.FailMetric, Site: site, When: s.clock.Now(),
-				Op: "link", Err: fmt.Errorf("link to %s degraded after %d attempts (%d buffered): %v",
-					ev.Peer, ev.Attempts, ev.Messages, ev.Err),
+				Op: "link", Err: fmt.Errorf("link to %s degraded after %d attempts (%d buffered)%s",
+					ev.Peer, ev.Attempts, ev.Messages, linkErrSuffix(ev.Err)),
 			}, true)
 		}
 	case transport.LinkOverflow, transport.LinkGaveUp:
@@ -284,8 +319,8 @@ func (s *Shell) onLinkEvent(ev transport.LinkEvent) {
 		for _, site := range s.sitesRoutedTo(ev.Peer) {
 			s.reportFailure(cmi.Failure{
 				Kind: cmi.FailLogical, Site: site, When: s.clock.Now(),
-				Op: "link", Err: fmt.Errorf("link to %s lost %d message(s) (%s): %v",
-					ev.Peer, ev.Messages, ev.Kind, ev.Err),
+				Op: "link", Err: fmt.Errorf("link to %s lost %d message(s) (%s)%s",
+					ev.Peer, ev.Messages, ev.Kind, linkErrSuffix(ev.Err)),
 			}, true)
 		}
 	case transport.LinkRecovered:
@@ -441,8 +476,35 @@ func (s *Shell) Start() error {
 		})
 		s.periodics = append(s.periodics, tm)
 	}
+	s.buildDispatchIndex()
 	s.started = true
 	return nil
+}
+
+// dispatchKey addresses one bucket of the rule dispatch index: the LHS
+// operation plus the literal item base (empty for item-less P rules).
+type dispatchKey struct {
+	op   event.Op
+	base string
+}
+
+// buildDispatchIndex groups s.owned by (LHS op, item base).  Template
+// item bases are always literal (only argument slots may be parameters or
+// wildcards) so an event can only match rules in its own bucket; F rules
+// match nothing and are left out entirely.
+func (s *Shell) buildDispatchIndex() {
+	s.dispatchIdx = make(map[dispatchKey][]*rule.Rule, len(s.owned))
+	for i := range s.owned {
+		r := &s.owned[i]
+		k := dispatchKey{op: r.LHS.Op}
+		switch {
+		case r.LHS.Op == event.OpF:
+			continue
+		case r.LHS.Op.HasItem():
+			k.base = r.LHS.Item.Base
+		}
+		s.dispatchIdx[k] = append(s.dispatchIdx[k], r)
+	}
 }
 
 // Stop cancels subscriptions and periodic schedules.
@@ -461,24 +523,59 @@ func (s *Shell) Stop() {
 	s.started = false
 }
 
+// funcRing is a reusable FIFO ring buffer of queued thunks.  The post
+// queue used to be a slice resliced on every pop, which leaks the drained
+// prefix's capacity and reallocates the backing array on every burst; the
+// ring reuses its storage across bursts and grows only when a burst
+// outsizes every previous one.
+type funcRing struct {
+	buf  []func()
+	head int
+	n    int
+}
+
+func (r *funcRing) push(f func()) {
+	if r.n == len(r.buf) {
+		grown := make([]func(), max(8, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = f
+	r.n++
+}
+
+// pop removes and returns the oldest thunk, or nil when empty.  The slot
+// is cleared so the ring does not pin executed closures.
+func (r *funcRing) pop() func() {
+	if r.n == 0 {
+		return nil
+	}
+	f := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return f
+}
+
 // post runs f on the shell's run-to-completion queue: events generated
 // while handling an event are processed after it, never reentrantly.
 func (s *Shell) post(f func()) {
 	s.qmu.Lock()
-	s.queue = append(s.queue, f)
+	s.queue.push(f)
 	if s.processing {
 		s.qmu.Unlock()
 		return
 	}
 	s.processing = true
 	for {
-		if len(s.queue) == 0 {
+		next := s.queue.pop()
+		if next == nil {
 			s.processing = false
 			s.qmu.Unlock()
 			return
 		}
-		next := s.queue[0]
-		s.queue = s.queue[1:]
 		s.qmu.Unlock()
 		next()
 		s.qmu.Lock()
@@ -491,8 +588,17 @@ func (s *Shell) record(e *event.Event) *event.Event {
 	return s.tr.Append(e)
 }
 
-// pendKey identifies a CM-initiated write for trigger suppression.
-func pendKey(item data.ItemName, v data.Value) string { return item.Key() + "\x00" + v.String() }
+// pendID identifies a CM-initiated write for trigger suppression; a
+// comparable struct key avoids building a separator-joined string per
+// write.
+type pendID struct{ item, val string }
+
+// implID identifies one generated interface rule in the cache.
+type implID struct{ kind, site, base string }
+
+func pendKey(item data.ItemName, v data.Value) pendID {
+	return pendID{item: item.Key(), val: v.String()}
+}
 
 // onSourceChange receives a native change callback from a translator and
 // decides whether it is the echo of a CM write (suppressed — the W event
@@ -545,46 +651,67 @@ func (s *Shell) Spontaneous(item data.ItemName, old, new data.Value) {
 // handleEvent matches an event against the owned rules and dispatches
 // firings.  It must run on the shell's queue.
 func (s *Shell) handleEvent(e *event.Event) {
-	for _, r := range s.owned {
-		b, ok := r.LHS.Match(e.Desc)
-		if !ok {
-			continue
+	if s.scanAll || s.dispatchIdx == nil {
+		for i := range s.owned {
+			s.matchRule(&s.owned[i], e)
 		}
-		// C0 is evaluated at the LHS site at trigger time, with
-		// equality-binding semantics (Read interface pattern).
-		env := s.env(e.Site, b)
-		condOK, err := rule.EvalCondBinding(r.Cond, env, b)
+		return
+	}
+	k := dispatchKey{op: e.Desc.Op}
+	if e.Desc.Op.HasItem() {
+		k.base = e.Desc.Item.Base
+	}
+	for _, r := range s.dispatchIdx[k] {
+		s.matchRule(r, e)
+	}
+}
+
+// matchRule tries one rule against one event, dispatching on a match
+// whose condition holds.  The scratch bindings map is reused across
+// attempts (handleEvent is queue-serialized) and cloned only for actual
+// firings.
+func (s *Shell) matchRule(r *rule.Rule, e *event.Event) {
+	b := s.scratchB
+	clear(b)
+	if !r.LHS.MatchInto(e.Desc, b) {
+		return
+	}
+	// C0 is evaluated at the LHS site at trigger time, with
+	// equality-binding semantics (Read interface pattern).  A nil
+	// condition needs no environment at all.
+	if r.Cond != nil {
+		condOK, err := rule.EvalCondBinding(r.Cond, s.env(e.Site, b), b)
 		if err != nil {
 			s.reportFailure(cmi.Failure{
 				Kind: cmi.FailLogical, Site: e.Site, When: s.clock.Now(),
 				Op: "condition", Err: fmt.Errorf("rule %s: %w", r.ID, err),
 			}, true)
-			continue
+			return
 		}
 		if !condOK {
-			continue
+			return
 		}
-		s.m.matches.Inc()
-		r := r
-		bCopy := b.Clone()
-		trigger := e
-		if s.opts.FireDelay == 0 {
-			// Dispatch inline: handleEvent runs on the shell queue, so
-			// firings leave in match order and the FIFO transport keeps
-			// them ordered — required on the real clock, where timer
-			// goroutines would otherwise race (Appendix A.2 property 7).
-			s.dispatch(r, bCopy, trigger)
-			continue
-		}
-		s.clock.AfterFunc(s.opts.FireDelay, func() {
-			s.dispatch(r, bCopy, trigger)
-		})
 	}
+	s.m.matches.Inc()
+	bCopy := b.Clone()
+	if s.opts.FireDelay == 0 {
+		// Dispatch inline: handleEvent runs on the shell queue, so
+		// firings leave in match order and the FIFO transport keeps
+		// them ordered — required on the real clock, where timer
+		// goroutines would otherwise race (Appendix A.2 property 7).
+		s.dispatch(r, bCopy, e)
+		return
+	}
+	trigger := e
+	s.clock.AfterFunc(s.opts.FireDelay, func() {
+		s.dispatch(r, bCopy, trigger)
+	})
 }
 
-// dispatch routes a rule firing to the shell hosting the RHS site.
-func (s *Shell) dispatch(r rule.Rule, b event.Bindings, trigger *event.Event) {
-	effSite, err := effectSite(s.spec, r)
+// dispatch routes a rule firing to the shell hosting the RHS site.  It
+// takes ownership of b.
+func (s *Shell) dispatch(r *rule.Rule, b event.Bindings, trigger *event.Event) {
+	effSite, err := effectSite(s.spec, *r)
 	if err != nil || effSite == "" {
 		return
 	}
@@ -601,7 +728,7 @@ func (s *Shell) dispatch(r rule.Rule, b event.Bindings, trigger *event.Event) {
 		s.m.ring.Record(obs.FireTrace{
 			Rule: r.ID, Shell: s.id, Site: trigger.Site,
 			Outcome: obs.OutcomeLocal,
-			Trigger: trigger.Desc.String(), Seq: trigger.Seq,
+			TriggerDesc: &trigger.Desc, Seq: trigger.Seq,
 			Matched: trigger.Time, Dispatched: s.clock.Now(),
 		})
 		s.post(func() { s.executeSteps(r, b, trigger) })
@@ -614,11 +741,15 @@ func (s *Shell) dispatch(r rule.Rule, b event.Bindings, trigger *event.Event) {
 		}, true)
 		return
 	}
+	// Trigger.Desc stays blank and the bindings ride as values: an
+	// in-process receiver uses TriggerEvent and BindingsVal directly, and a
+	// serializing transport renders both wire fields via Message.WireReady
+	// only when the message actually leaves the process.
 	msg := transport.Message{
 		Kind:         "fire",
 		Rule:         r.ID,
-		Bindings:     encodeBindings(b),
-		Trigger:      transport.EventRef{Site: trigger.Site, Seq: trigger.Seq, Time: trigger.Time, Desc: trigger.Desc.String()},
+		BindingsVal:  b,
+		Trigger:      transport.EventRef{Site: trigger.Site, Seq: trigger.Seq, Time: trigger.Time},
 		TriggerEvent: trigger,
 	}
 	s.m.remoteFires.Inc()
@@ -630,7 +761,7 @@ func (s *Shell) dispatch(r rule.Rule, b event.Bindings, trigger *event.Event) {
 		s.m.ring.Record(obs.FireTrace{
 			Rule: r.ID, Shell: s.id, Site: trigger.Site, Target: target,
 			Outcome: obs.OutcomeDropped,
-			Trigger: trigger.Desc.String(), Seq: trigger.Seq,
+			TriggerDesc: &trigger.Desc, Seq: trigger.Seq,
 			Matched: trigger.Time, Dispatched: s.clock.Now(),
 		})
 		s.reportFailure(cmi.Failure{
@@ -643,7 +774,7 @@ func (s *Shell) dispatch(r rule.Rule, b event.Bindings, trigger *event.Event) {
 	s.m.ring.Record(obs.FireTrace{
 		Rule: r.ID, Shell: s.id, Site: trigger.Site, Target: target,
 		Outcome: obs.OutcomeSent,
-		Trigger: trigger.Desc.String(), Seq: trigger.Seq,
+		TriggerDesc: &trigger.Desc, Seq: trigger.Seq,
 		Matched: trigger.Time, Dispatched: s.clock.Now(),
 	})
 }
@@ -652,7 +783,7 @@ func (s *Shell) dispatch(r rule.Rule, b event.Bindings, trigger *event.Event) {
 func (s *Shell) receive(m transport.Message) {
 	switch m.Kind {
 	case "fire":
-		r, ok := s.spec.RuleByID(m.Rule)
+		r, ok := s.spec.RuleRefByID(m.Rule)
 		if !ok {
 			s.reportFailure(cmi.Failure{
 				Kind: cmi.FailLogical, Site: s.id, When: s.clock.Now(),
@@ -660,13 +791,20 @@ func (s *Shell) receive(m transport.Message) {
 			}, false)
 			return
 		}
-		b, err := decodeBindings(m.Bindings)
-		if err != nil {
-			s.reportFailure(cmi.Failure{
-				Kind: cmi.FailLogical, Site: s.id, When: s.clock.Now(),
-				Op: "receive", Err: err,
-			}, false)
-			return
+		// In-process fast path: the sender's dispatch handed over a private
+		// bindings map as values, so take ownership directly (Bindings wins
+		// when a serializing hop already materialized it).
+		b := m.BindingsVal
+		if m.Bindings != nil || b == nil {
+			var err error
+			b, err = decodeBindings(m.Bindings)
+			if err != nil {
+				s.reportFailure(cmi.Failure{
+					Kind: cmi.FailLogical, Site: s.id, When: s.clock.Now(),
+					Op: "receive", Err: err,
+				}, false)
+				return
+			}
 		}
 		trigger := m.TriggerEvent
 		if trigger == nil {
@@ -697,12 +835,20 @@ func (s *Shell) receive(m transport.Message) {
 		// link failures for that site are moot.
 		s.clearLinkFailures(m.FailSite)
 	default:
-		s.failMu.Lock()
-		fn := s.custom[m.Kind]
-		s.failMu.Unlock()
-		if fn != nil {
-			s.post(func() { fn(m) })
-		}
+		// Kept out of receive itself: capturing m in a closure here would
+		// make the parameter escape on every call, heap-copying the Message
+		// even for the hot "fire" path.
+		s.receiveCustom(m)
+	}
+}
+
+// receiveCustom queues a registered handler for a custom message kind.
+func (s *Shell) receiveCustom(m transport.Message) {
+	s.failMu.Lock()
+	fn := s.custom[m.Kind]
+	s.failMu.Unlock()
+	if fn != nil {
+		s.post(func() { fn(m) })
 	}
 }
 
@@ -783,13 +929,15 @@ func stubTrigger(ref transport.EventRef) *event.Event {
 	return e
 }
 
-// executeSteps runs the RHS of a rule at this shell.  Runs on the queue.
-func (s *Shell) executeSteps(r rule.Rule, b event.Bindings, trigger *event.Event) {
+// executeSteps runs the RHS of a rule at this shell.  Runs on the queue;
+// it owns b (both callers — dispatch and receive — hand over a private
+// map, so no defensive clone is needed to extend it).
+func (s *Shell) executeSteps(r *rule.Rule, b event.Bindings, trigger *event.Event) {
 	now := s.clock.Now()
 	s.m.ring.Record(obs.FireTrace{
 		Rule: r.ID, Shell: s.id, Site: trigger.Site,
 		Outcome: obs.OutcomeExecuted,
-		Trigger: trigger.Desc.String(), Seq: trigger.Seq,
+		TriggerDesc: &trigger.Desc, Seq: trigger.Seq,
 		Matched: trigger.Time, Executed: now,
 	})
 	if d := now.Sub(trigger.Time); d >= 0 && !trigger.Time.IsZero() {
@@ -798,7 +946,6 @@ func (s *Shell) executeSteps(r rule.Rule, b event.Bindings, trigger *event.Event
 	// The reserved parameter "now" is bound to the current time at the
 	// effect site when the rule fires (used by monitor strategies to
 	// record Tb, Section 6.3).
-	b = b.Clone()
 	b["now"] = vclock.TimeValue(now)
 	for _, step := range r.Steps {
 		if step.Eff.Op == event.OpF {
@@ -865,7 +1012,7 @@ func (s *Shell) executeSteps(r rule.Rule, b event.Bindings, trigger *event.Event
 }
 
 // emit performs one effect event.
-func (s *Shell) emit(r rule.Rule, desc event.Desc, site string, trigger *event.Event) {
+func (s *Shell) emit(r *rule.Rule, desc event.Desc, site string, trigger *event.Event) {
 	now := s.clock.Now()
 	switch desc.Op {
 	case event.OpWR:
@@ -944,7 +1091,7 @@ func (s *Shell) emit(r rule.Rule, desc event.Desc, site string, trigger *event.E
 	}
 }
 
-func (s *Shell) performPrivateWrite(r rule.Rule, desc event.Desc, site string, wr *event.Event) {
+func (s *Shell) performPrivateWrite(r *rule.Rule, desc event.Desc, site string, wr *event.Event) {
 	s.setPrivate(desc.Item, desc.Val)
 	writeRule := s.implicitRule("write", site, desc.Item)
 	w := s.record(&event.Event{
@@ -984,9 +1131,14 @@ func (s *Shell) translatorWrite(iface cmi.Interface, desc event.Desc) bool {
 }
 
 // env builds the condition-evaluation environment for a site: CM-private
-// items plus the site's database items through its translator.
+// items plus the site's database items through its translator.  The
+// shell's single evalEnv is reused — expression evaluation is synchronous
+// and every caller runs on the shell queue, so returning a pointer into
+// the shell costs no allocation per evaluation.
 func (s *Shell) env(site string, b event.Bindings) rule.Env {
-	return shellEnv{s: s, site: site, params: b}
+	s.evalEnv.site = site
+	s.evalEnv.params = b
+	return &s.evalEnv
 }
 
 type shellEnv struct {
@@ -995,17 +1147,17 @@ type shellEnv struct {
 	params event.Bindings
 }
 
-func (e shellEnv) Param(name string) (data.Value, bool) {
+func (e *shellEnv) Param(name string) (data.Value, bool) {
 	v, ok := e.params[name]
 	return v, ok
 }
 
 // NowValue implements rule.NowEnv for the now() builtin.
-func (e shellEnv) NowValue() (data.Value, bool) {
+func (e *shellEnv) NowValue() (data.Value, bool) {
 	return vclock.TimeValue(e.s.clock.Now()), true
 }
 
-func (e shellEnv) Item(n data.ItemName) (data.Value, bool, error) {
+func (e *shellEnv) Item(n data.ItemName) (data.Value, bool, error) {
 	if e.s.spec.Private[n.Base] != "" {
 		e.s.privMu.RLock()
 		defer e.s.privMu.RUnlock()
@@ -1028,12 +1180,13 @@ func (e shellEnv) Item(n data.ItemName) (data.Value, bool, error) {
 // bound is taken from the site's declared interface statements when one
 // matches, else a conservative 1s.
 func (s *Shell) implicitRule(kind, site string, item data.ItemName) rule.Rule {
-	id := "if:" + kind + ":" + site + ":" + item.Base
+	key := implID{kind: kind, site: site, base: item.Base}
 	s.implMu.Lock()
 	defer s.implMu.Unlock()
-	if r, ok := s.implicit[id]; ok {
+	if r, ok := s.implicit[key]; ok {
 		return r
 	}
+	id := "if:" + kind + ":" + site + ":" + item.Base
 	// Parameter slots matching the item's arity.
 	args := make([]event.Term, len(item.Args))
 	condArgs := make([]rule.Expr, len(item.Args))
@@ -1059,7 +1212,7 @@ func (s *Shell) implicitRule(kind, site string, item data.ItemName) rule.Rule {
 	default:
 		panic("shell: unknown implicit rule kind " + kind)
 	}
-	s.implicit[id] = r
+	s.implicit[key] = r
 	return r
 }
 

@@ -106,13 +106,14 @@ func (g DerivedLag) Check(tr *trace.Trace) guarantee.Report {
 	}
 	v0, ok0 := compute(tr.Initial())
 	sums = append(sums, sample{at: events[0].Time, v: v0, ok: ok0})
-	for _, e := range events {
-		v, ok := compute(e.New)
+	tr.WalkNewStates(func(e *event.Event, in data.Interpretation) bool {
+		v, ok := compute(in)
 		last := sums[len(sums)-1]
 		if ok != last.ok || (ok && !v.Equal(last.v)) {
 			sums = append(sums, sample{at: e.Time, v: v, ok: ok})
 		}
-	}
+		return true
+	})
 	end := tr.End()
 	for i, s := range sums {
 		if !s.ok {

@@ -3,10 +3,21 @@
 // properties of Appendix A.2.  Every simulated scenario in the test suite
 // and the benchmark harness records a trace and re-validates it, replacing
 // the paper's manual proofs with a machine check on every run.
+//
+// State is stored as a versioned store: one timeline of write events per
+// data item plus the current interpretation, mutated in place.  Appending
+// an event is O(1) in the number of items and events; the per-event old
+// and new interpretations of the formal model are lazy views (Event.Old /
+// Event.New) reconstructed from the timelines on demand, so only readers
+// that genuinely need a full interpretation — the Appendix A.2 checker,
+// mostly — pay for materializing one.  NewCloning preserves the original
+// clone-per-append representation for equivalence testing and as the
+// baseline arm of the E14 saturation experiment.
 package trace
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -15,15 +26,24 @@ import (
 )
 
 // Trace is an append-only record of an execution.  It maintains the
-// running interpretation so that appended events get their old/new
-// components filled in per Appendix A.2 properties 2 and 3.  Trace is safe
-// for concurrent use.
+// running interpretation and per-item write timelines so that appended
+// events can answer for their old/new components per Appendix A.2
+// properties 2 and 3.  Trace is safe for concurrent use.
 type Trace struct {
 	mu      sync.Mutex
 	events  []*event.Event
-	state   data.Interpretation
+	state   data.Interpretation // current state, mutated in place
 	initial data.Interpretation
-	seq     uint64
+	// timelines holds, per item key, the performed-write events on that
+	// item in sequence order.  Write events are the only ones that change
+	// state, so the timelines are a complete versioned store: the state
+	// after any event is initial overlaid with each item's last write at
+	// or before that sequence number.
+	timelines map[string][]*event.Event
+	seq       uint64
+	// cloning selects the legacy representation: every append clones the
+	// full interpretation and stores eager old/new maps on the event.
+	cloning bool
 }
 
 // New returns a trace starting from the given initial interpretation
@@ -32,25 +52,92 @@ func New(initial data.Interpretation) *Trace {
 	if initial == nil {
 		initial = data.NewInterpretation()
 	}
-	return &Trace{state: initial.Clone(), initial: initial.Clone()}
+	return &Trace{
+		state:     initial.Clone(),
+		initial:   initial.Clone(),
+		timelines: map[string][]*event.Event{},
+	}
 }
 
-// Append records the event, assigning its sequence number and computing
-// its old and new interpretations from the running state.  It returns the
-// event for convenience.  The caller fills Time, Site, Desc, Rule and
-// Trigger; Old, New and Seq are owned by the trace.
+// NewCloning returns a trace using the legacy clone-per-append
+// representation: each event stores eager old/new interpretation maps,
+// costing O(items) time and memory per write event.  It exists as the
+// baseline arm for equivalence tests and the E14 saturation experiment;
+// all read APIs behave identically to New.
+func NewCloning(initial data.Interpretation) *Trace {
+	t := New(initial)
+	t.cloning = true
+	return t
+}
+
+// Append records the event, assigning its sequence number and wiring up
+// its old and new interpretation views from the running state.  It
+// returns the event for convenience.  The caller fills Time, Site, Desc,
+// Rule and Trigger; the state views and Seq are owned by the trace.
 func (t *Trace) Append(e *event.Event) *event.Event {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	e.Seq = t.seq
 	t.seq++
-	e.Old = t.state
-	if e.Desc.Op.IsWrite() {
-		t.state = t.state.With(e.Desc.Item, e.Desc.Val)
+	if t.cloning {
+		old := t.state
+		if e.Desc.Op.IsWrite() {
+			t.state = t.state.With(e.Desc.Item, e.Desc.Val)
+		}
+		e.SetStates(old, t.state)
+	} else {
+		e.SetStateSource(t)
 	}
-	e.New = t.state
+	if e.Desc.Op.IsWrite() {
+		key := e.Desc.Item.Key()
+		t.timelines[key] = append(t.timelines[key], e)
+		if !t.cloning {
+			t.state.Set(e.Desc.Item, e.Desc.Val)
+		}
+	}
 	t.events = append(t.events, e)
+	t.mu.Unlock()
 	return e
+}
+
+// StateBefore implements event.StateSource: the interpretation in force
+// before event seq.
+func (t *Trace) StateBefore(seq uint64) data.Interpretation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stateAtSeqLocked(seq, false)
+}
+
+// StateAfter implements event.StateSource: the interpretation in force
+// after event seq.
+func (t *Trace) StateAfter(seq uint64) data.Interpretation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stateAtSeqLocked(seq, true)
+}
+
+// stateAtSeqLocked materializes the interpretation at a sequence point:
+// initial overlaid with each item's last write before seq (or at seq,
+// when inclusive).  O(items × log writes).
+func (t *Trace) stateAtSeqLocked(seq uint64, inclusive bool) data.Interpretation {
+	bound := seq
+	if inclusive {
+		bound++
+	}
+	out := t.initial.Clone()
+	for key, tl := range t.timelines {
+		// First write with w.Seq >= bound; the one before it is in force.
+		i := sort.Search(len(tl), func(i int) bool { return tl[i].Seq >= bound })
+		if i == 0 {
+			continue
+		}
+		v := tl[i-1].Desc.Val
+		if v.IsNull() {
+			delete(out, key)
+		} else {
+			out[key] = v
+		}
+	}
+	return out
 }
 
 // Find returns the recorded event with the given sequence number, or nil.
@@ -68,13 +155,16 @@ func (t *Trace) Find(seq uint64) *event.Event {
 	return t.events[seq]
 }
 
-// Events returns a snapshot of the recorded events.
+// Events returns the recorded events as a read-only snapshot.  The slice
+// is shared with the trace (events are appended once and never mutated,
+// and the capacity is capped so a caller's append cannot clobber later
+// records); callers that need to reorder or extend it must copy —
+// experiment loops call this on every lookup, so the common read path
+// must not copy the whole history each time.
 func (t *Trace) Events() []*event.Event {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]*event.Event, len(t.events))
-	copy(out, t.events)
-	return out
+	return t.events[:len(t.events):len(t.events)]
 }
 
 // Len reports the number of recorded events.
@@ -106,14 +196,45 @@ func (t *Trace) Final() data.Interpretation {
 func (t *Trace) StateAt(at time.Time) data.Interpretation {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	state := t.initial
-	for _, e := range t.events {
+	// Mirror the historical scan: the state is that of the last event
+	// before the first one whose time exceeds at (times are normally
+	// non-decreasing, but a violated trace may not be — the checker still
+	// sees the same state the eager representation would have recorded).
+	last := -1
+	for i, e := range t.events {
 		if e.Time.After(at) {
 			break
 		}
-		state = e.New
+		last = i
 	}
-	return state
+	if last < 0 {
+		return t.initial.Clone()
+	}
+	return t.stateAtSeqLocked(t.events[last].Seq, true)
+}
+
+// WalkNewStates calls fn for each recorded event in sequence order with
+// the interpretation the event left in force (its New view), maintaining
+// one running reconstruction so the whole walk costs O(events + writes)
+// instead of materializing a fresh interpretation per event.  The map
+// passed to fn is reused between calls: fn must not retain or mutate it.
+// fn returning false stops the walk.  Events carrying eager state
+// overrides yield those instead, exactly as Event.New would.
+func (t *Trace) WalkNewStates(fn func(e *event.Event, in data.Interpretation) bool) {
+	events := t.Events()
+	cur := t.Initial()
+	for _, e := range events {
+		if e.Desc.Op.IsWrite() {
+			cur.Set(e.Desc.Item, e.Desc.Val)
+		}
+		in := cur
+		if e.HasEagerStates() {
+			in = e.New()
+		}
+		if !fn(e, in) {
+			return
+		}
+	}
 }
 
 // Sample is one point in a value timeline.
@@ -125,13 +246,14 @@ type Sample struct {
 
 // Timeline returns the distinct values item held over the execution, in
 // order, starting with its initial value.  Consecutive equal values are
-// collapsed; the guarantee checkers consume this.
+// collapsed; the guarantee checkers consume this.  Only the item's own
+// write timeline is scanned — O(writes to item), not O(events).
 func (t *Trace) Timeline(item data.ItemName) []Sample {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := []Sample{{V: t.initial.Get(item)}}
-	for _, e := range t.events {
-		v := e.New.Get(item)
+	for _, e := range t.timelines[item.Key()] {
+		v := e.Desc.Val
 		if !v.Equal(out[len(out)-1].V) {
 			out = append(out, Sample{At: e.Time, Seq: e.Seq, V: v})
 		}
@@ -143,13 +265,11 @@ func (t *Trace) Timeline(item data.ItemName) []Sample {
 func (t *Trace) Writes(item data.ItemName) []*event.Event {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var out []*event.Event
-	for _, e := range t.events {
-		if e.Desc.Op.IsWrite() && e.Desc.Item.Equal(item) {
-			out = append(out, e)
-		}
+	tl := t.timelines[item.Key()]
+	if len(tl) == 0 {
+		return nil
 	}
-	return out
+	return append([]*event.Event(nil), tl...)
 }
 
 // Matching returns events whose descriptor matches the template.

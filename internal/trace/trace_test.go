@@ -41,15 +41,15 @@ func mustRule(t *testing.T, src string) rule.Rule {
 func TestAppendMaintainsInterpretations(t *testing.T) {
 	tr := New(nil)
 	e1 := spontaneousWrite(tr, at(1), "A", itemX, data.NewInt(5))
-	if !e1.Old.Equal(data.Interpretation{}) {
-		t.Fatalf("e1.Old = %s", e1.Old)
+	if !e1.Old().Equal(data.Interpretation{}) {
+		t.Fatalf("e1.Old = %s", e1.Old())
 	}
-	if !e1.New.Get(itemX).Equal(data.NewInt(5)) {
-		t.Fatalf("e1.New = %s", e1.New)
+	if !e1.New().Get(itemX).Equal(data.NewInt(5)) {
+		t.Fatalf("e1.New = %s", e1.New())
 	}
 	// A non-write event leaves the state unchanged.
 	e2 := tr.Append(&event.Event{Time: at(2), Site: "A", Desc: event.N(itemX, data.NewInt(5))})
-	if !e2.Old.Equal(e2.New) {
+	if !e2.Old().Equal(e2.New()) {
 		t.Fatal("notification changed the state")
 	}
 	if e1.Seq != 0 || e2.Seq != 1 {
@@ -147,8 +147,9 @@ func TestCheckDetectsTimeDisorder(t *testing.T) {
 func TestCheckDetectsBadInterpretation(t *testing.T) {
 	tr := New(nil)
 	e := spontaneousWrite(tr, at(1), "A", itemX, data.NewInt(1))
-	// Corrupt the new interpretation after the fact.
-	e.New = e.New.With(itemY, data.NewInt(99))
+	// Corrupt the new interpretation after the fact: eager states override
+	// the trace's lazy source, exactly as the old mutable fields did.
+	e.SetStates(e.Old(), e.New().With(itemY, data.NewInt(99)))
 	vs := NewChecker(nil).Check(tr)
 	if !hasProperty(vs, 2) && !hasProperty(vs, 3) {
 		t.Fatalf("no property-2/3 violation: %v", vs)

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"cmtk/internal/data"
+	"cmtk/internal/event"
+)
+
+// buildPair appends the same pseudo-random event sequence — writes,
+// deletes, notifications, write requests across several items — to a
+// versioned trace and a legacy cloning trace.
+func buildPair(seed int64, n int) (*Trace, *Trace) {
+	items := []data.ItemName{data.Item("X"), data.Item("Y"), data.Item("Z"), data.Item("emp.42")}
+	initial := data.Interpretation{"X": data.NewInt(1)}
+	versioned, cloning := New(initial), NewCloning(initial)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		item := items[rng.Intn(len(items))]
+		var d event.Desc
+		switch rng.Intn(5) {
+		case 0:
+			d = event.Ws(item, data.NullValue, data.NewInt(int64(rng.Intn(10))))
+		case 1:
+			d = event.W(item, data.NewInt(int64(rng.Intn(10))))
+		case 2:
+			d = event.Ws(item, data.NullValue, data.NullValue) // delete
+		case 3:
+			d = event.N(item, data.NewInt(int64(rng.Intn(10))))
+		default:
+			d = event.WR(item, data.NewInt(int64(rng.Intn(10))))
+		}
+		when := at(i)
+		versioned.Append(&event.Event{Time: when, Site: "A", Desc: d})
+		cloning.Append(&event.Event{Time: when, Site: "A", Desc: d})
+	}
+	return versioned, cloning
+}
+
+// TestVersionedMatchesCloning drives both representations through the
+// same execution and demands identical answers from every read API: the
+// lazy Old/New views, StateAt, Timeline, Writes and Final.
+func TestVersionedMatchesCloning(t *testing.T) {
+	const n = 200
+	v, c := buildPair(1996, n)
+	ve, ce := v.Events(), c.Events()
+	if len(ve) != n || len(ce) != n {
+		t.Fatalf("lengths %d, %d", len(ve), len(ce))
+	}
+	for i := range ve {
+		if !ve[i].Old().Equal(ce[i].Old()) {
+			t.Fatalf("event %d: Old %s (versioned) != %s (cloning)", i, ve[i].Old(), ce[i].Old())
+		}
+		if !ve[i].New().Equal(ce[i].New()) {
+			t.Fatalf("event %d: New %s (versioned) != %s (cloning)", i, ve[i].New(), ce[i].New())
+		}
+	}
+	for s := -1; s <= n; s += 7 {
+		if got, want := v.StateAt(at(s)), c.StateAt(at(s)); !got.Equal(want) {
+			t.Fatalf("StateAt(%d): %s != %s", s, got, want)
+		}
+	}
+	for _, item := range []data.ItemName{data.Item("X"), data.Item("Y"), data.Item("Z"), data.Item("emp.42"), data.Item("untouched")} {
+		vt, ct := v.Timeline(item), c.Timeline(item)
+		if len(vt) != len(ct) {
+			t.Fatalf("Timeline(%s): %d samples != %d", item, len(vt), len(ct))
+		}
+		for i := range vt {
+			if !vt[i].V.Equal(ct[i].V) || vt[i].Seq != ct[i].Seq {
+				t.Fatalf("Timeline(%s)[%d]: %+v != %+v", item, i, vt[i], ct[i])
+			}
+		}
+		if len(v.Writes(item)) != len(c.Writes(item)) {
+			t.Fatalf("Writes(%s) lengths differ", item)
+		}
+	}
+	if !v.Final().Equal(c.Final()) {
+		t.Fatalf("Final: %s != %s", v.Final(), c.Final())
+	}
+}
+
+// TestVersionedCheckerEquivalence runs the Appendix A.2 checker over both
+// representations of the same valid execution and of the same corrupted
+// one, demanding identical verdicts.
+func TestVersionedCheckerEquivalence(t *testing.T) {
+	v, c := buildPair(42, 150)
+	ck := NewChecker(nil)
+	if vv, cv := ck.Check(v), ck.Check(c); len(vv) != len(cv) {
+		t.Fatalf("valid trace: %d violations (versioned) vs %d (cloning): %v / %v", len(vv), len(cv), vv, cv)
+	}
+	// Corrupt the same event in both: eager states override the source.
+	for _, tr := range []*Trace{v, c} {
+		e := tr.Events()[10]
+		e.SetStates(e.Old(), e.New().With(data.Item("ghost"), data.NewInt(99)))
+	}
+	vv, cv := ck.Check(v), ck.Check(c)
+	if len(vv) == 0 || len(cv) == 0 {
+		t.Fatalf("corruption undetected: versioned=%v cloning=%v", vv, cv)
+	}
+	if len(vv) != len(cv) {
+		t.Fatalf("corrupted trace: %d violations (versioned) vs %d (cloning)", len(vv), len(cv))
+	}
+}
+
+// TestEventsSnapshotIsStable verifies the zero-copy Events snapshot:
+// appending to the returned slice must not clobber events recorded after
+// the snapshot was taken (the capacity cap forces a reallocation).
+func TestEventsSnapshotIsStable(t *testing.T) {
+	tr := New(nil)
+	spontaneousWrite(tr, at(0), "A", itemX, data.NewInt(1))
+	snap := tr.Events()
+	later := spontaneousWrite(tr, at(1), "A", itemY, data.NewInt(2))
+	bogus := &event.Event{Time: at(9), Site: "Z", Desc: event.N(itemX, data.NewInt(0))}
+	_ = append(snap, bogus)
+	if got := tr.Events()[1]; got != later {
+		t.Fatalf("append through snapshot clobbered the trace: got %v", got)
+	}
+}
+
+// TestTraceConcurrentAccess hammers one trace from concurrent appenders
+// and readers — the shape multiple shells sharing a trace produce.  Run
+// under -race this validates the versioned store's locking.
+func TestTraceConcurrentAccess(t *testing.T) {
+	tr := New(data.Interpretation{"X": data.NewInt(0)})
+	const writers, perWriter = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			item := data.Item(fmt.Sprintf("it%d", w))
+			for i := 0; i < perWriter; i++ {
+				e := tr.Append(&event.Event{Time: at(i), Site: "A", Desc: event.Ws(item, data.NullValue, data.NewInt(int64(i)))})
+				_ = e.New() // exercise the lazy view concurrently with appends
+			}
+		}(w)
+	}
+	ck := NewChecker(nil)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_ = tr.StateAt(at(i))
+				_ = tr.Timeline(data.Item("it0"))
+				_ = tr.Final()
+				_ = ck.checkProvenance(tr.Events())
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != writers*perWriter {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// The full checker needs a time-ordered trace; here we only assert the
+	// per-writer timelines survived the contention intact.
+	for w := 0; w < writers; w++ {
+		if got := len(tr.Writes(data.Item(fmt.Sprintf("it%d", w)))); got != perWriter {
+			t.Fatalf("writer %d recorded %d writes", w, got)
+		}
+	}
+	_ = tr.String()
+	var zero time.Time
+	if tr.End().Equal(zero) {
+		t.Fatal("End is zero on a non-empty trace")
+	}
+}

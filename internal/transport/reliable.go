@@ -452,6 +452,12 @@ func (r *ReliableEndpoint) Send(to string, m Message) error {
 	seq := o.nextSeq
 	o.nextSeq++
 	wm := m
+	if r.j != nil {
+		// The journal serializes queued messages; in-process-only fields
+		// (BindingsVal, TriggerEvent) would not survive a crash replay, so
+		// fold them into their wire form before the message is logged.
+		wm.WireReady()
+	}
 	p := make(map[string]string, len(m.Payload)+2)
 	for k, v := range m.Payload {
 		p[k] = v

@@ -79,9 +79,15 @@ func TestReliableCountersRace(t *testing.T) {
 	}
 	wg.Wait()
 
+	// Wait for the acks as well as the deliveries: acks trail their
+	// messages, and Close cuts off whatever is still in flight.
 	want := int64(workers / 2 * perW)
 	deadline := time.Now().Add(5 * time.Second)
-	for (recvA.Load() < want || recvB.Load() < want) && time.Now().Before(deadline) {
+	for time.Now().Before(deadline) {
+		if recvA.Load() >= want && recvB.Load() >= want &&
+			reg.Snapshot().Sum("cmtk_transport_acked_total") >= float64(2*want) {
+			break
+		}
 		time.Sleep(5 * time.Millisecond)
 	}
 	close(stop)

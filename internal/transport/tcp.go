@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"cmtk/internal/obs"
 	"cmtk/internal/wire"
 )
 
@@ -19,6 +20,21 @@ import (
 // requests each awaiting a reply the other side can only produce after
 // its own nested send completes — a distributed deadlock broken only by
 // request timeouts.
+//
+// Sends are batched: Send enqueues on a per-peer outbox and one flusher
+// goroutine per peer coalesces everything queued while the previous
+// round-trip was in flight into a single wire frame (flush-on-idle: under
+// light load each frame carries one message and latency is one
+// round-trip; under load the batch grows to amortize the round-trip
+// without adding any timer delay).  Per-link FIFO order — the Appendix
+// A.2 property-7 delivery assumption — is preserved end to end: the
+// single flusher drains the outbox in send order, frames are serialized
+// one round-trip at a time, and the receiver unpacks each frame in order
+// into the per-sender inbox.  Send therefore only reports synchronous
+// routing problems; delivery failures surface as LinkEvents through
+// OnLinkEvent (on a raw TCP endpoint a failed frame means its messages
+// are lost for good — LinkGaveUp — while reliable.go layered on top
+// retransmits until acked).
 type TCP struct {
 	shellID  string
 	addrs    map[string]string           // shellID -> address
@@ -31,7 +47,24 @@ type TCP struct {
 	peers    map[string]*wire.Client
 	inbox    map[string]chan Message // per-sender serial delivery queues
 	closed   bool
+
+	outMu   sync.Mutex
+	outCond *sync.Cond // signalled when an outbox drains (Flush waits on it)
+	outbox  map[string]*tcpOut
+	linkFns []func(LinkEvent)
+	mBatch  *obs.Histogram
 }
+
+// tcpOut is one peer's send-side batch queue.
+type tcpOut struct {
+	addr    string
+	pending []Message
+	running bool // a flusher goroutine owns this outbox
+}
+
+// tcpBatchBuckets sizes the cmtk_transport_batch_size histogram: batch
+// sizes are small integers, not durations.
+var tcpBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // NewTCP starts a TCP endpoint for shellID listening on listenAddr.
 // addrs maps every peer shell ID to its address (the routing table
@@ -46,7 +79,12 @@ func NewTCP(shellID, listenAddr string, addrs map[string]string, recv func(Messa
 		done:     make(chan struct{}),
 		peers:    map[string]*wire.Client{},
 		inbox:    map[string]chan Message{},
+		outbox:   map[string]*tcpOut{},
+		mBatch: obs.Default.Histogram("cmtk_transport_batch_size",
+			"Messages coalesced into one wire frame by the TCP send-side batcher.",
+			tcpBatchBuckets, "shell").With(shellID),
 	}
+	t.outCond = sync.NewCond(&t.outMu)
 	srv, err := wire.Serve(listenAddr, tcpHandler{t})
 	if err != nil {
 		return nil, err
@@ -67,14 +105,27 @@ func (h tcpHandler) NewSession(func(wire.Message) error) (wire.Session, error) {
 type tcpSession struct{ t *TCP }
 
 func (s tcpSession) Handle(m wire.Message) wire.Message {
-	if m.Type != "shellmsg" {
+	switch m.Type {
+	case "shellmsg":
+		var msg Message
+		if err := json.Unmarshal([]byte(m.Field("m")), &msg); err != nil {
+			return wire.ErrorReply(m, fmt.Errorf("transport: bad message: %w", err))
+		}
+		s.t.deliver(msg)
+	case "shellmsgb":
+		// A batched frame: the sender's flusher coalesced consecutive
+		// messages for us into one round-trip.  Unpacking in slice order
+		// into the per-sender FIFO inbox keeps property-7 delivery order.
+		var msgs []Message
+		if err := json.Unmarshal([]byte(m.Field("m")), &msgs); err != nil {
+			return wire.ErrorReply(m, fmt.Errorf("transport: bad batch: %w", err))
+		}
+		for _, msg := range msgs {
+			s.t.deliver(msg)
+		}
+	default:
 		return wire.ErrorReply(m, fmt.Errorf("transport: unknown request %q", m.Type))
 	}
-	var msg Message
-	if err := json.Unmarshal([]byte(m.Field("m")), &msg); err != nil {
-		return wire.ErrorReply(m, fmt.Errorf("transport: bad message: %w", err))
-	}
-	s.t.deliver(msg)
 	return wire.Reply(m)
 }
 
@@ -113,7 +164,31 @@ func (t *TCP) drain(q chan Message) {
 	}
 }
 
-// Send implements Endpoint.
+// OnLinkEvent registers a link-health observer.  The batching sender
+// reports delivery failures here (Send itself only fails on routing
+// problems): a frame that could not be delivered on this raw endpoint
+// means its messages are lost for good — LinkGaveUp, a logical failure in
+// the Section 5 taxonomy.
+func (t *TCP) OnLinkEvent(fn func(LinkEvent)) {
+	t.outMu.Lock()
+	t.linkFns = append(t.linkFns, fn)
+	t.outMu.Unlock()
+}
+
+func (t *TCP) emitLink(ev LinkEvent) {
+	t.outMu.Lock()
+	fns := append([]func(LinkEvent){}, t.linkFns...)
+	t.outMu.Unlock()
+	for _, fn := range fns {
+		fn(ev)
+	}
+}
+
+// Send implements Endpoint: it resolves the destination, stamps the
+// routing fields and enqueues the message on the peer's outbox; the
+// per-peer flusher coalesces queued messages into wire frames.  Only
+// synchronous routing problems (unknown peer, closed endpoint) are
+// errors; delivery failures surface through OnLinkEvent.
 func (t *TCP) Send(to string, m Message) error {
 	addr, ok := t.addrs[to]
 	if !ok && t.resolve != nil {
@@ -123,12 +198,66 @@ func (t *TCP) Send(to string, m Message) error {
 		return fmt.Errorf("transport: no address for shell %s", to)
 	}
 	m.From, m.To = t.shellID, to
-	m.TriggerEvent = nil // never crosses the network
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return fmt.Errorf("transport: endpoint %s closed", t.shellID)
 	}
+	t.mu.Unlock()
+	t.outMu.Lock()
+	o := t.outbox[to]
+	if o == nil {
+		o = &tcpOut{}
+		t.outbox[to] = o
+	}
+	o.addr = addr
+	o.pending = append(o.pending, m)
+	if !o.running {
+		o.running = true
+		go t.flushPeer(to, o)
+	}
+	t.outMu.Unlock()
+	return nil
+}
+
+// flushPeer drains one peer's outbox: each iteration takes everything
+// queued so far as one batch, renders it wire-ready and ships it as a
+// single frame.  The goroutine exits when the outbox is empty (flush-on-
+// idle); the next Send restarts it.
+func (t *TCP) flushPeer(to string, o *tcpOut) {
+	for {
+		t.outMu.Lock()
+		batch := o.pending
+		o.pending = nil
+		addr := o.addr
+		if len(batch) == 0 {
+			o.running = false
+			t.outCond.Broadcast()
+			t.outMu.Unlock()
+			return
+		}
+		t.outMu.Unlock()
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			t.dropBatch(to, batch, fmt.Errorf("transport: endpoint %s closed", t.shellID))
+			continue
+		}
+		for i := range batch {
+			batch[i].WireReady()
+			batch[i].TriggerEvent = nil // never crosses the network
+		}
+		t.mBatch.Observe(float64(len(batch)))
+		if err := t.sendFrame(to, addr, batch); err != nil {
+			t.dropBatch(to, batch, err)
+		}
+	}
+}
+
+// sendFrame performs one batched round-trip to a peer, dialing lazily.
+func (t *TCP) sendFrame(to, addr string, batch []Message) error {
+	t.mu.Lock()
 	c, ok := t.peers[to]
 	t.mu.Unlock()
 	if !ok {
@@ -147,12 +276,22 @@ func (t *TCP) Send(to string, m Message) error {
 			c = nc
 		}
 	}
-	buf, err := json.Marshal(m)
+	var buf []byte
+	var err error
+	typ := "shellmsgb"
+	if len(batch) == 1 {
+		// A single message keeps the original frame shape, so batching and
+		// non-batching endpoints interoperate.
+		typ = "shellmsg"
+		buf, err = json.Marshal(batch[0])
+	} else {
+		buf, err = json.Marshal(batch)
+	}
 	if err != nil {
 		return fmt.Errorf("transport: marshal: %w", err)
 	}
-	if _, err := c.Do(wire.Message{Type: "shellmsg", F: map[string]string{"m": string(buf)}}); err != nil {
-		// Drop the broken connection so the next send redials.
+	if _, err := c.Do(wire.Message{Type: typ, F: map[string]string{"m": string(buf)}}); err != nil {
+		// Drop the broken connection so the next frame redials.
 		t.mu.Lock()
 		if t.peers[to] == c {
 			delete(t.peers, to)
@@ -162,6 +301,41 @@ func (t *TCP) Send(to string, m Message) error {
 		return err
 	}
 	return nil
+}
+
+// dropBatch reports a lost frame through the link-event observers.
+func (t *TCP) dropBatch(to string, batch []Message, err error) {
+	fires := 0
+	for i := range batch {
+		if batch[i].Kind == "fire" {
+			fires++
+		}
+	}
+	t.emitLink(LinkEvent{
+		Kind: LinkGaveUp, Peer: to, Err: err,
+		Messages: len(batch), Fires: fires,
+	})
+}
+
+// Flush blocks until every queued outbound message has been either
+// delivered or reported lost, implementing Flusher for scenario
+// teardowns and tests that need send-completion.
+func (t *TCP) Flush() error {
+	t.outMu.Lock()
+	defer t.outMu.Unlock()
+	for {
+		busy := false
+		for _, o := range t.outbox {
+			if o.running || len(o.pending) > 0 {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return nil
+		}
+		t.outCond.Wait()
+	}
 }
 
 // Close implements Endpoint.
@@ -177,10 +351,16 @@ func (t *TCP) Close() error {
 	for _, c := range peers {
 		c.Close()
 	}
+	t.outMu.Lock()
+	t.outCond.Broadcast()
+	t.outMu.Unlock()
 	return t.srv.Close()
 }
 
-var _ Endpoint = (*TCP)(nil)
+var (
+	_ Endpoint = (*TCP)(nil)
+	_ Flusher  = (*TCP)(nil)
+)
 
 // TCPNetwork is a Network whose members listen on ephemeral local ports
 // and discover each other through a shared registry — the initialization

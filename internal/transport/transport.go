@@ -21,6 +21,14 @@ type Message struct {
 	Bindings map[string]string // parameter -> literal encoding
 	Trigger  EventRef
 
+	// BindingsVal is the in-process fast path for Bindings: senders on an
+	// in-memory network hand over the bound values directly and receivers
+	// take ownership, skipping the encode/decode round trip entirely.  A
+	// serializing boundary (TCP, the durable reliable journal) calls
+	// WireReady first, which folds BindingsVal into Bindings; when both are
+	// set, Bindings wins.
+	BindingsVal event.Bindings `json:"-"`
+
 	// failure: a site's interface failed.
 	FailSite string
 	FailKind string // "metric" or "logical"
@@ -35,6 +43,27 @@ type Message struct {
 	// chain provenance; it does not cross the network (TCP receivers
 	// reconstruct a stub from Trigger).
 	TriggerEvent *event.Event `json:"-"`
+}
+
+// WireReady materializes the wire form of the in-process-only fields:
+// BindingsVal is encoded into Bindings and the trigger descriptor is
+// rendered from TriggerEvent when the sender left it blank.  Serializing
+// transports call this before a message leaves the process or lands on
+// disk; in-memory networks skip it so the hot path never pays for string
+// encoding.
+func (m *Message) WireReady() {
+	if m.BindingsVal != nil {
+		if m.Bindings == nil {
+			m.Bindings = make(map[string]string, len(m.BindingsVal))
+			for k, v := range m.BindingsVal {
+				m.Bindings[k] = v.String()
+			}
+		}
+		m.BindingsVal = nil
+	}
+	if m.TriggerEvent != nil && m.Trigger.Desc == "" {
+		m.Trigger.Desc = m.TriggerEvent.Desc.String()
+	}
 }
 
 // EventRef is the serializable identity of an event.
@@ -77,9 +106,31 @@ type Bus struct {
 	queues map[[2]string]*pairQueue
 }
 
+// pairQueue buffers one link's in-flight messages.  head indexes the next
+// undelivered message so pops reuse the slice's capacity instead of
+// reslicing it away; deliver is bound once per link so scheduling a
+// delivery does not allocate a fresh closure per send.
 type pairQueue struct {
-	mu   sync.Mutex
-	msgs []Message
+	mu      sync.Mutex
+	msgs    []Message
+	head    int
+	deliver func()
+}
+
+// pop removes and returns the oldest queued message.
+func (q *pairQueue) pop() (Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head >= len(q.msgs) {
+		return Message{}, false
+	}
+	m := q.msgs[q.head]
+	q.msgs[q.head] = Message{} // release references held by the slot
+	q.head++
+	if q.head == len(q.msgs) {
+		q.msgs, q.head = q.msgs[:0], 0
+	}
+	return m, true
 }
 
 // NewBus creates a bus on the given clock with the given link latency.
@@ -133,8 +184,7 @@ func (e *busEndpoint) Send(to string, m Message) error {
 	e.mu.Unlock()
 	b := e.bus
 	b.mu.Lock()
-	dst, ok := b.members[to]
-	if !ok {
+	if _, ok := b.members[to]; !ok {
 		b.mu.Unlock()
 		return fmt.Errorf("transport: no shell %s on bus", to)
 	}
@@ -148,6 +198,26 @@ func (e *busEndpoint) Send(to string, m Message) error {
 	q := b.queues[key]
 	if q == nil {
 		q = &pairQueue{}
+		q.deliver = func() {
+			head, ok := q.pop()
+			if !ok {
+				return
+			}
+			// Resolve the destination at delivery time: the endpoint may
+			// have closed (and a namesake rejoined) since the send.
+			b.mu.Lock()
+			dst := b.members[head.To]
+			b.mu.Unlock()
+			if dst == nil {
+				return
+			}
+			dst.mu.Lock()
+			dead := dst.dead
+			dst.mu.Unlock()
+			if !dead {
+				dst.recv(head)
+			}
+		}
 		b.queues[key] = q
 	}
 	delay := due.Sub(b.clock.Now())
@@ -155,22 +225,7 @@ func (e *busEndpoint) Send(to string, m Message) error {
 	q.mu.Lock()
 	q.msgs = append(q.msgs, m)
 	q.mu.Unlock()
-	b.clock.AfterFunc(delay, func() {
-		q.mu.Lock()
-		if len(q.msgs) == 0 {
-			q.mu.Unlock()
-			return
-		}
-		head := q.msgs[0]
-		q.msgs = q.msgs[1:]
-		q.mu.Unlock()
-		dst.mu.Lock()
-		dead := dst.dead
-		dst.mu.Unlock()
-		if !dead {
-			dst.recv(head)
-		}
-	})
+	b.clock.AfterFunc(delay, q.deliver)
 	return nil
 }
 

@@ -133,18 +133,96 @@ func TestTCPMesh(t *testing.T) {
 	}
 }
 
+// TestTCPBatchingFIFO bursts messages at a deliberately slow receiver so
+// the flusher coalesces queued messages into multi-message frames, and
+// checks that per-link FIFO order (Appendix A.2 property 7) survives the
+// batching.
+func TestTCPBatchingFIFO(t *testing.T) {
+	const n = 200
+	var mu sync.Mutex
+	var got []Message
+	recvB := func(m Message) {
+		time.Sleep(100 * time.Microsecond) // stall so send outpaces delivery
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	}
+	b, err := NewTCP("B", "127.0.0.1:0", nil, recvB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a, err := NewTCP("A", "127.0.0.1:0", map[string]string{"B": b.Addr()}, func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	before := a.mBatch.Count()
+	for i := 0; i < n; i++ {
+		if err := a.Send("B", Message{Kind: "fire", Trigger: EventRef{Seq: uint64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		cnt := len(got)
+		mu.Unlock()
+		if cnt == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d messages arrived", cnt, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, m := range got {
+		if m.Trigger.Seq != uint64(i) {
+			t.Fatalf("FIFO violated at %d: seq %d", i, m.Trigger.Seq)
+		}
+	}
+	frames := a.mBatch.Count() - before
+	if frames == 0 || frames >= n {
+		t.Fatalf("expected coalescing: %d messages went out in %d frames", n, frames)
+	}
+	t.Logf("%d messages coalesced into %d frames", n, frames)
+}
+
 func TestTCPSendErrors(t *testing.T) {
 	a, err := NewTCP("A", "127.0.0.1:0", map[string]string{"B": "127.0.0.1:1"}, func(Message) {})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
+	var mu sync.Mutex
+	var events []LinkEvent
+	a.OnLinkEvent(func(ev LinkEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
 	if err := a.Send("unknown", Message{}); err == nil {
 		t.Fatal("send to unrouted shell succeeded")
 	}
-	if err := a.Send("B", Message{}); err == nil {
-		t.Fatal("send to dead address succeeded")
+	// A dead address is a delivery failure, not a routing failure: Send
+	// enqueues and the flusher reports the lost frame as a link event.
+	if err := a.Send("B", Message{Kind: "fire"}); err != nil {
+		t.Fatalf("send to dead address should enqueue: %v", err)
 	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if len(events) != 1 || events[0].Kind != LinkGaveUp || events[0].Peer != "B" ||
+		events[0].Messages != 1 || events[0].Fires != 1 || events[0].Err == nil {
+		t.Fatalf("expected one LinkGaveUp for B, got %+v", events)
+	}
+	mu.Unlock()
 	a.Close()
 	if err := a.Send("B", Message{}); err == nil {
 		t.Fatal("send after close succeeded")
