@@ -213,3 +213,42 @@ func BenchmarkE13CrashRecovery(b *testing.B) {
 		requireNoViolationMarks(b, tbl, "leads", "final value correct")
 	}
 }
+
+func BenchmarkE15ChaosSoak(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := harness.E15(40)
+		if len(tbl.Rows) != 15 {
+			b.Fatalf("E15 rows = %d", len(tbl.Rows))
+		}
+		// Every arm must converge losslessly with its logical guarantees
+		// intact and zero true order violations — chaos may only cost
+		// metric slack, never correctness.
+		for _, row := range tbl.Rows {
+			if lost := cellOf(b, tbl, row, "lost"); lost != "0" {
+				b.Fatalf("E15 arm lost values: %v", row)
+			}
+			if fail := cellOf(b, tbl, row, "fail m/l"); !strings.HasSuffix(fail, "/0") {
+				b.Fatalf("E15 arm saw logical failures: %v", row)
+			}
+			if p7 := cellOf(b, tbl, row, "prop-7"); !strings.HasSuffix(p7, "/0") {
+				b.Fatalf("E15 arm truly reordered a link: %v", row)
+			}
+			if conv := cellOf(b, tbl, row, "converged"); conv != "true" {
+				b.Fatalf("E15 arm did not converge: %v", row)
+			}
+		}
+		requireNoViolationMarks(b, tbl)
+	}
+}
+
+// cellOf fetches a named column from a row of tbl.
+func cellOf(b *testing.B, tbl harness.Table, row []string, col string) string {
+	b.Helper()
+	for i, c := range tbl.Columns {
+		if c == col {
+			return row[i]
+		}
+	}
+	b.Fatalf("%s: no column %q", tbl.ID, col)
+	return ""
+}

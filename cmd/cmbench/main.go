@@ -15,6 +15,10 @@
 // events/sec, ns/event, B/event, allocs/event per grid point) to FILE as
 // a benchstat-friendly JSON array, so successive runs can be diffed; the
 // committed BENCH_E14.json at the repo root is generated this way.
+//
+// -loadjson does the same for the E15 chaos-soak rows (rate × fault
+// campaign: sustained events/sec, latency quantiles, deadline misses,
+// recovery time); the committed BENCH_LOAD.json is generated this way.
 package main
 
 import (
@@ -30,24 +34,33 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "workload scale factor")
-	exps := flag.String("exp", "all", "comma-separated experiment ids (E1..E14, F1, F2) or 'all'")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (E1..E15, F1, F2) or 'all'")
 	obsMode := flag.Bool("obs", false, "print per-experiment metric deltas from the obs registry")
 	jsonOut := flag.String("json", "", "write E14 saturation rows to this file as JSON and exit")
+	loadOut := flag.String("loadjson", "", "write E15 chaos-soak rows to this file as JSON and exit")
 	flag.Parse()
 
-	if *jsonOut != "" {
-		rows := harness.E14Rows(1000 * *scale)
+	writeRows := func(path, what string, rows any, n int) {
 		buf, err := json.MarshalIndent(rows, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cmbench: %v\n", err)
 			os.Exit(1)
 		}
 		buf = append(buf, '\n')
-		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "cmbench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %d E14 rows to %s\n", len(rows), *jsonOut)
+		fmt.Printf("wrote %d %s rows to %s\n", n, what, path)
+	}
+	if *jsonOut != "" {
+		rows := harness.E14Rows(1000 * *scale)
+		writeRows(*jsonOut, "E14", rows, len(rows))
+		return
+	}
+	if *loadOut != "" {
+		rows := harness.E15Rows(60 * *scale)
+		writeRows(*loadOut, "E15", rows, len(rows))
 		return
 	}
 
@@ -66,10 +79,11 @@ func main() {
 		"E12": func() harness.Table { return harness.E12(3 * *scale) },
 		"E13": func() harness.Table { return harness.E13(3 * *scale) },
 		"E14": func() harness.Table { return harness.E14(1000 * *scale) },
+		"E15": func() harness.Table { return harness.E15(60 * *scale) },
 		"F1":  func() harness.Table { return harness.F1(100 * *scale) },
 		"F2":  func() harness.Table { return harness.F2(30 * *scale) },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "F1", "F2"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "F1", "F2"}
 
 	var selected []string
 	if *exps == "all" {
@@ -78,7 +92,7 @@ func main() {
 		for _, id := range strings.Split(*exps, ",") {
 			id = strings.TrimSpace(strings.ToUpper(id))
 			if _, ok := runners[id]; !ok {
-				fmt.Fprintf(os.Stderr, "cmbench: unknown experiment %q (want E1..E14, F1, F2)\n", id)
+				fmt.Fprintf(os.Stderr, "cmbench: unknown experiment %q (want E1..E15, F1, F2)\n", id)
 				os.Exit(2)
 			}
 			selected = append(selected, id)

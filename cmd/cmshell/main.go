@@ -175,7 +175,7 @@ func main() {
 		ep = mesh
 		fmt.Printf("cmshell: %s (raw links) listening on %s\n", *id, mesh.Addr())
 	} else {
-		rel = transport.NewReliableEndpoint(sh.Receive, transport.ReliableOptions{RetryInterval: *retry})
+		rel = transport.NewReliableEndpoint(sh.Receive, transport.ReliableOptions{RetryInterval: *retry, Name: *id})
 		if store != nil {
 			replayed, err := rel.EnableJournal(store, "rel-"+*id)
 			if err != nil {

@@ -53,7 +53,7 @@ func TestDocsReferenceExistingFiles(t *testing.T) {
 var flagDefRe = regexp.MustCompile(`flag\.\w+\((?:&\w+, )?"([\w-]+)"`)
 
 // cmdRe matches a backticked invocation of one of our binaries.
-var cmdRe = regexp.MustCompile("`((?:cmshell|risd|cmbench|cmctl)\\s+[^`\n]*)`")
+var cmdRe = regexp.MustCompile("`((?:cmshell|risd|cmbench|cmctl|cmload)\\s+[^`\n]*)`")
 
 // flagTokRe pulls -flag tokens out of a documented command line.
 var flagTokRe = regexp.MustCompile(`(^|\s)-([\w-]+)`)
@@ -62,7 +62,7 @@ var flagTokRe = regexp.MustCompile(`(^|\s)-([\w-]+)`)
 // invocation using a flag the binary does not define.
 func TestDocsReferenceDefinedFlags(t *testing.T) {
 	defined := map[string]map[string]bool{}
-	for _, bin := range []string{"cmshell", "risd", "cmbench", "cmctl"} {
+	for _, bin := range []string{"cmshell", "risd", "cmbench", "cmctl", "cmload"} {
 		src, err := os.ReadFile(filepath.Join("cmd", bin, "main.go"))
 		if err != nil {
 			t.Fatalf("cmd/%s: %v", bin, err)

@@ -76,6 +76,12 @@ type Config struct {
 	// to share one store between the toolkit and a Reliable network, and
 	// to simulate crashes with store.Crash.
 	Durable *durable.Store
+	// ShellOptions, when non-nil, rewrites each shell's options just
+	// before construction: per-shell clock skew (vclock.Skewed), queue
+	// limits and admission policies (overload protection), or a private
+	// metrics registry.  The hook receives the shell's name and the
+	// deployment-wide defaults and returns what the shell should use.
+	ShellOptions func(name string, o shell.Options) shell.Options
 }
 
 // Site declares one information source.
@@ -319,7 +325,11 @@ func (tk *Toolkit) Deploy() error {
 	}
 	opts := shell.Options{Clock: tk.clock, Trace: tk.tr, FireDelay: tk.cfg.FireDelay}
 	for _, name := range names {
-		sh := shell.New(name, tk.spec, opts)
+		shOpts := opts
+		if tk.cfg.ShellOptions != nil {
+			shOpts = tk.cfg.ShellOptions(name, opts)
+		}
+		sh := shell.New(name, tk.spec, shOpts)
 		for _, s := range byShell[name] {
 			sh.AddSite(s.RID.Site, tk.ifaces[s.RID.Site])
 		}

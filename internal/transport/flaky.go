@@ -99,6 +99,34 @@ func (f *Flaky) PartitionBoth(a, b string) {
 	f.Partition(b, a)
 }
 
+// SetDrop replaces the drop probability for subsequent sends.  Runtime
+// mutation is what lets a fault campaign (internal/chaos) phase lossy
+// links in and out mid-run; the PRNG stream is unaffected, so a campaign
+// with the same seed and phase boundaries replays identically.
+func (f *Flaky) SetDrop(p float64) {
+	f.mu.Lock()
+	f.opts.Drop = p
+	f.mu.Unlock()
+}
+
+// SetDelay replaces the delay probability and the added latency for
+// subsequent sends (a by of 0 keeps the current DelayBy).
+func (f *Flaky) SetDelay(p float64, by time.Duration) {
+	f.mu.Lock()
+	f.opts.Delay = p
+	if by > 0 {
+		f.opts.DelayBy = by
+	}
+	f.mu.Unlock()
+}
+
+// SetDuplicate replaces the duplication probability for subsequent sends.
+func (f *Flaky) SetDuplicate(p float64) {
+	f.mu.Lock()
+	f.opts.Duplicate = p
+	f.mu.Unlock()
+}
+
 // Heal restores the directed link from one shell to another.
 func (f *Flaky) Heal(from, to string) {
 	f.mu.Lock()
@@ -142,6 +170,7 @@ func (e *flakyEndpoint) Send(to string, m Message) error {
 	drop := f.rng.Float64() < f.opts.Drop
 	dup := f.rng.Float64() < f.opts.Duplicate
 	delay := f.rng.Float64() < f.opts.Delay
+	delayBy := f.opts.DelayBy
 	f.mu.Unlock()
 	if drop {
 		f.mDrop.Inc()
@@ -160,7 +189,7 @@ func (e *flakyEndpoint) Send(to string, m Message) error {
 	case drop && dup:
 		// The original is lost but its duplicate survives.
 		if delay {
-			f.clock.AfterFunc(f.opts.DelayBy, send)
+			f.clock.AfterFunc(delayBy, send)
 			return nil
 		}
 		return e.inner.Send(to, m)
@@ -169,12 +198,12 @@ func (e *flakyEndpoint) Send(to string, m Message) error {
 			return err
 		}
 		if delay {
-			f.clock.AfterFunc(f.opts.DelayBy, send)
+			f.clock.AfterFunc(delayBy, send)
 			return nil
 		}
 		return e.inner.Send(to, m)
 	case delay:
-		f.clock.AfterFunc(f.opts.DelayBy, send)
+		f.clock.AfterFunc(delayBy, send)
 		return nil
 	default:
 		return e.inner.Send(to, m)

@@ -145,6 +145,12 @@ type ReliableOptions struct {
 	// CheckpointBytes is the journal size that triggers compaction into a
 	// checkpoint snapshot (default 256 KiB).
 	CheckpointBytes int64
+	// Name is the owning shell's ID, used as the label on the shared
+	// bounded-buffer drop counter (cmtk_transport_buffer_dropped_total).
+	// Reliable.Join fills it with the joining shell's ID; direct
+	// NewReliableEndpoint constructions should set it themselves (empty
+	// falls back to "local").
+	Name string
 }
 
 func (o ReliableOptions) withDefaults() ReliableOptions {
@@ -166,6 +172,9 @@ func (o ReliableOptions) withDefaults() ReliableOptions {
 	if o.CheckpointBytes <= 0 {
 		o.CheckpointBytes = 256 << 10
 	}
+	if o.Name == "" {
+		o.Name = "local"
+	}
 	return o
 }
 
@@ -186,7 +195,11 @@ func NewReliable(inner Network, opts ReliableOptions) *Reliable {
 
 // Join implements Network.
 func (r *Reliable) Join(shellID string, recv func(Message)) (Endpoint, error) {
-	re := NewReliableEndpoint(recv, r.opts)
+	opts := r.opts
+	if opts.Name == "" {
+		opts.Name = shellID
+	}
+	re := NewReliableEndpoint(recv, opts)
 	if r.opts.Durable != nil {
 		if _, err := re.EnableJournal(r.opts.Durable, "rel-"+shellID); err != nil {
 			return nil, err
@@ -246,13 +259,17 @@ type relMetrics struct {
 	dropped                         *obs.CounterVec // peer, reason
 	dups, held                      *obs.CounterVec
 	depth                           *obs.GaugeVec
+	// holdDropped counts reorder-buffer evictions under the shared
+	// bounded-buffer family; one cell per endpoint, resolved by Name.
+	holdDropped *obs.Counter
 }
 
-func newRelMetrics(reg *obs.Registry) relMetrics {
+func newRelMetrics(reg *obs.Registry, name string) relMetrics {
 	if reg == nil {
 		reg = obs.Default
 	}
 	return relMetrics{
+		holdDropped: BufferDropCounter(reg, name, "reorder-hold"),
 		sends: reg.Counter("cmtk_transport_sends_total",
 			"Messages sequenced and buffered for transmission, per link.", "peer"),
 		retries: reg.Counter("cmtk_transport_retries_total",
@@ -321,7 +338,7 @@ func NewReliableEndpoint(recv func(Message), opts ReliableOptions) *ReliableEndp
 		epoch: uint64(o.Clock.Now().UnixNano()),
 		clock: o.Clock,
 		recv:  recv,
-		met:   newRelMetrics(o.Metrics),
+		met:   newRelMetrics(o.Metrics, o.Name),
 		out:   map[string]*relOut{},
 		in:    map[string]*relIn{},
 	}
@@ -638,6 +655,12 @@ func (r *ReliableEndpoint) Deliver(m Message) {
 		if len(in.hold) < r.opts.OutboxLimit {
 			in.hold[seq] = m
 			in.mHeld.Inc()
+		} else {
+			// Eviction at the cap is deterministic (the arriving copy is
+			// discarded, held ones stay) and counted — bounded RSS must not
+			// mean silent loss in the books, even though go-back-N will
+			// resend this copy.
+			r.met.holdDropped.Inc()
 		}
 	}
 	if in.epoch != prevEpoch || in.next != prevNext || fresh {
