@@ -11,10 +11,12 @@
 // histogram series that moved), so a run doubles as an instrumentation
 // audit.  See OBSERVABILITY.md for the metric catalogue.
 //
-// -json writes the E14 engine-saturation rows (old path vs new path,
-// events/sec, ns/event, B/event, allocs/event per grid point) to FILE as
-// a benchstat-friendly JSON array, so successive runs can be diffed; the
-// committed BENCH_E14.json at the repo root is generated this way.
+// -json writes the engine benchmark rows to FILE as a benchstat-friendly
+// JSON object with two arrays: "e14" (engine saturation, old path vs new
+// path: events/sec, ns/event, B/event, allocs/event per grid point) and
+// "e16" (core scaling: events/sec per GOMAXPROCS × bases arm on the
+// partitioned engine).  Successive runs can be diffed; the committed
+// BENCH_E14.json at the repo root is generated this way.
 //
 // -loadjson does the same for the E15 chaos-soak rows (rate × fault
 // campaign: sustained events/sec, latency quantiles, deadline misses,
@@ -34,7 +36,7 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "workload scale factor")
-	exps := flag.String("exp", "all", "comma-separated experiment ids (E1..E15, F1, F2) or 'all'")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (E1..E16, F1, F2) or 'all'")
 	obsMode := flag.Bool("obs", false, "print per-experiment metric deltas from the obs registry")
 	jsonOut := flag.String("json", "", "write E14 saturation rows to this file as JSON and exit")
 	loadOut := flag.String("loadjson", "", "write E15 chaos-soak rows to this file as JSON and exit")
@@ -54,8 +56,13 @@ func main() {
 		fmt.Printf("wrote %d %s rows to %s\n", n, what, path)
 	}
 	if *jsonOut != "" {
-		rows := harness.E14Rows(1000 * *scale)
-		writeRows(*jsonOut, "E14", rows, len(rows))
+		e14 := harness.E14Rows(1000 * *scale)
+		e16 := harness.E16Rows(2000 * *scale)
+		combined := struct {
+			E14 []harness.E14Row `json:"e14"`
+			E16 []harness.E16Row `json:"e16"`
+		}{e14, e16}
+		writeRows(*jsonOut, "E14+E16", combined, len(e14)+len(e16))
 		return
 	}
 	if *loadOut != "" {
@@ -80,10 +87,11 @@ func main() {
 		"E13": func() harness.Table { return harness.E13(3 * *scale) },
 		"E14": func() harness.Table { return harness.E14(1000 * *scale) },
 		"E15": func() harness.Table { return harness.E15(60 * *scale) },
+		"E16": func() harness.Table { return harness.E16(2000 * *scale) },
 		"F1":  func() harness.Table { return harness.F1(100 * *scale) },
 		"F2":  func() harness.Table { return harness.F2(30 * *scale) },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "F1", "F2"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "F1", "F2"}
 
 	var selected []string
 	if *exps == "all" {
@@ -92,7 +100,7 @@ func main() {
 		for _, id := range strings.Split(*exps, ",") {
 			id = strings.TrimSpace(strings.ToUpper(id))
 			if _, ok := runners[id]; !ok {
-				fmt.Fprintf(os.Stderr, "cmbench: unknown experiment %q (want E1..E15, F1, F2)\n", id)
+				fmt.Fprintf(os.Stderr, "cmbench: unknown experiment %q (want E1..E16, F1, F2)\n", id)
 				os.Exit(2)
 			}
 			selected = append(selected, id)

@@ -21,6 +21,13 @@
 // so every pair of communicating shells should list each other in -peer.
 // -unreliable reverts to raw fire-and-forget TCP sends.
 //
+// -workers selects the engine: the default 1 is the classic serial
+// engine, N > 1 runs the partitioned parallel engine on N workers, and
+// 0 (or any non-positive value) resolves to GOMAXPROCS.  Serial stays
+// the default because a shell is usually one of several processes on a
+// box; taking every core should be an explicit choice.  DESIGN.md §9
+// documents the concurrency model and what it preserves.
+//
 // -metrics-addr starts the observability surface: /metrics serves the
 // process-wide registry in Prometheus text format (shell, translator,
 // and transport metrics), and /debug/traces dumps the rule-firing trace
@@ -71,6 +78,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/traces on this address (empty: off)")
 	stateDir := flag.String("state-dir", "", "durable state directory: journal outbox and private items for crash recovery (empty: in-memory only)")
 	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always|interval|never")
+	workers := flag.Int("workers", 1, "engine worker count: 1 = serial, N > 1 = partitioned parallel engine, <= 0 = auto (GOMAXPROCS)")
 	retry := flag.Duration("retry", 200*time.Millisecond, "reliable-link base retransmit interval")
 	dialTimeout := flag.Duration("dial-timeout", 5*time.Second, "mesh peer dial timeout")
 	reqTimeout := flag.Duration("req-timeout", 10*time.Second, "mesh request timeout")
@@ -120,7 +128,13 @@ func main() {
 		fmt.Printf("cmshell: durable state in %s, %s start, wal-sync=%s\n", *stateDir, start, policy)
 	}
 
-	sh := shell.New(*id, spec, shell.Options{})
+	if *workers <= 0 {
+		*workers = shell.WorkersAuto
+	}
+	sh := shell.New(*id, spec, shell.Options{Workers: *workers})
+	if w := sh.Workers(); w > 1 {
+		fmt.Printf("cmshell: partitioned engine, %d workers\n", w)
+	}
 	if store != nil {
 		restored, err := sh.EnableDurable(store)
 		if err != nil {

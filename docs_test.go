@@ -11,22 +11,26 @@ import (
 	"strings"
 	"testing"
 
+	"cmtk/internal/data"
 	"cmtk/internal/durable"
 	"cmtk/internal/harness"
 	"cmtk/internal/obs"
 	"cmtk/internal/ris/relstore"
 	"cmtk/internal/ris/server"
+	"cmtk/internal/rule"
+	"cmtk/internal/shell"
+	"cmtk/internal/vclock"
 )
 
 // operator-facing docs whose references are checked
-var checkedDocs = []string{"README.md", "OBSERVABILITY.md", "DESIGN.md", "EXPERIMENTS.md"}
+var checkedDocs = []string{"README.md", "OBSERVABILITY.md", "DESIGN.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md"}
 
 var backtickRe = regexp.MustCompile("`([^`\n]+)`")
 
 // pathLike matches backticked tokens that claim to be repo files or
 // directories: a repo-relative path with a slash, or a root-level
 // markdown/config file.
-var pathLike = regexp.MustCompile(`^(?:(?:cmd|internal|examples)(?:/[\w.-]+)+|[A-Z][A-Z_]*[\w-]*\.md)$`)
+var pathLike = regexp.MustCompile(`^(?:(?:cmd|internal|examples|docs)(?:/[\w.-]+)+|[A-Z][A-Z_]*[\w-]*\.md)$`)
 
 // TestDocsReferenceExistingFiles fails when a doc backticks a repo path
 // that does not exist.
@@ -114,6 +118,23 @@ func TestObservabilityCataloguesEveryMetric(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
+	// The partitioned engine's worker and per-partition series
+	// (cmtk_shell_workers, cmtk_shell_partition_depth, the partition
+	// label on fire latency) only move on a parallel shell; run a small
+	// one so the scrape covers them.
+	psp, err := rule.ParseSpecString("site P\nprivate PA @ P\nprivate PB @ P\nrule pr: Ws(PA, b) ->5s W(PB, b)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	psh := shell.New("docpar", psp, shell.Options{Clock: vclock.NewVirtual(vclock.Epoch), Workers: 2})
+	psh.AddSite("P", nil)
+	if err := psh.Start(); err != nil {
+		t.Fatal(err)
+	}
+	psh.Spontaneous(data.Item("PA"), data.NewInt(0), data.NewInt(1))
+	psh.Drain()
+	psh.Stop()
+
 	srv, err := server.ServeRel("127.0.0.1:0", relstore.New("doc"))
 	if err != nil {
 		t.Fatal(err)
@@ -148,7 +169,8 @@ func TestObservabilityCataloguesEveryMetric(t *testing.T) {
 	// The harness + server must have registered all four layers; a
 	// collapse here means the test lost its coverage, not that docs are
 	// fine.
-	for _, want := range []string{"cmtk_shell_", "cmtk_translator_", "cmtk_transport_", "cmtk_ris_", "cmtk_wal_"} {
+	for _, want := range []string{"cmtk_shell_", "cmtk_translator_", "cmtk_transport_", "cmtk_ris_", "cmtk_wal_",
+		"cmtk_shell_workers", "cmtk_shell_partition_depth"} {
 		if !strings.Contains(b.String(), "# TYPE "+want) &&
 			!strings.Contains(b.String(), want) {
 			t.Errorf("scrape covers no %s* metrics; catalogue test lost coverage", want)

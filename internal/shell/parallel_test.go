@@ -1,0 +1,254 @@
+package shell
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"cmtk/internal/data"
+	"cmtk/internal/guarantee"
+	"cmtk/internal/rule"
+	"cmtk/internal/trace"
+	"cmtk/internal/vclock"
+)
+
+// paraSpec builds a mixed-constraint strategy over n base families at one
+// site: a copy rule X→Y, a chain rule Y→Z (exercising in-unit cascades),
+// and a conditioned rule X→Q whose condition reads the shared base G0
+// (exercising the cross-partition footprint and ordered two-phase
+// acquire).
+func paraSpec(t *testing.T, n int) *rule.Spec {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("site S\nprivate G0 @ S\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "private X%d @ S\nprivate Y%d @ S\nprivate Z%d @ S\nprivate Q%d @ S\n", i, i, i, i)
+		fmt.Fprintf(&b, "rule c%d: Ws(X%d, b) ->5s W(Y%d, b)\n", i, i, i)
+		fmt.Fprintf(&b, "rule k%d: W(Y%d, b) ->5s W(Z%d, b)\n", i, i, i)
+		fmt.Fprintf(&b, "rule g%d: Ws(X%d, b) && G0 = 0 ->5s W(Q%d, b)\n", i, i, i)
+	}
+	sp, err := rule.ParseSpecString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// paraRun replays a fixed seeded update stream through an engine with the
+// given worker count and returns its trace; updates for one base always
+// carry that base's own increasing counter, so per-base value order is
+// the replay invariant.
+func paraRun(t *testing.T, workers, bases, events int) (*trace.Trace, *Shell) {
+	t.Helper()
+	clk := vclock.NewVirtual(vclock.Epoch)
+	sp := paraSpec(t, bases)
+	initial := data.NewInterpretation()
+	initial.Set(data.Item("G0"), data.NewInt(0))
+	sh := New("s", sp, Options{Clock: clk, Workers: workers,
+		Trace: trace.NewSharded(initial, workers)})
+	sh.AddSite("S", nil)
+	sh.WriteAux(data.Item("G0"), data.NewInt(0))
+	if err := sh.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	counters := make([]int64, bases)
+	for e := 0; e < events; e++ {
+		i := rng.Intn(bases)
+		counters[i]++
+		sh.Spontaneous(data.Item(fmt.Sprintf("X%d", i)),
+			data.NewInt(counters[i]-1), data.NewInt(counters[i]))
+	}
+	sh.Drain()
+	sh.Stop()
+	return sh.Trace(), sh
+}
+
+// values renders an item's timeline as its value sequence — the part of
+// the execution that must be engine-independent.  (Sequence numbers and
+// global interleaving legitimately differ between the serial and parallel
+// engines; per-item value order must not.)
+func values(tr *trace.Trace, item data.ItemName) string {
+	var b strings.Builder
+	for _, s := range tr.Timeline(item) {
+		b.WriteString(s.V.String())
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// TestSerialParallelEquivalence replays the same seeded update stream
+// through the serial engine and a 4-partition parallel engine and asserts
+// byte-identical per-item timelines, a zero-violation Appendix A.2 check
+// on both traces, and identical guarantee verdicts.
+func TestSerialParallelEquivalence(t *testing.T) {
+	const bases, events = 8, 400
+	serialTr, serialSh := paraRun(t, 1, bases, events)
+	parTr, parSh := paraRun(t, 4, bases, events)
+
+	if w := parSh.Workers(); w != 4 {
+		t.Fatalf("parallel shell Workers() = %d, want 4", w)
+	}
+	if serialTr.Len() != parTr.Len() {
+		t.Fatalf("event counts differ: serial %d, parallel %d", serialTr.Len(), parTr.Len())
+	}
+	for i := 0; i < bases; i++ {
+		for _, fam := range []string{"X", "Y", "Z", "Q"} {
+			item := data.Item(fmt.Sprintf("%s%d", fam, i))
+			s, p := values(serialTr, item), values(parTr, item)
+			if s != p {
+				t.Errorf("timeline %s differs:\n  serial   %s\n  parallel %s", item, s, p)
+			}
+		}
+	}
+	for name, pair := range map[string][2]*trace.Trace{"serial": {serialTr}, "parallel": {parTr}} {
+		tr := pair[0]
+		sh := serialSh
+		if name == "parallel" {
+			sh = parSh
+		}
+		checker := trace.NewChecker(append(sh.spec.Rules, sh.ImplicitRules()...))
+		if vs := checker.Check(tr); len(vs) != 0 {
+			t.Errorf("%s trace: %d violations, first: %s", name, len(vs), vs[0])
+		}
+	}
+	for i := 0; i < bases; i++ {
+		x, y := fmt.Sprintf("X%d", i), fmt.Sprintf("Y%d", i)
+		s := guarantee.Follows{X: x, Y: y}.Check(serialTr).String()
+		p := guarantee.Follows{X: x, Y: y}.Check(parTr).String()
+		if s != p {
+			t.Errorf("follows(%s,%s) verdicts differ:\n  serial   %s\n  parallel %s", x, y, s, p)
+		}
+	}
+}
+
+// TestParallelHotBaseRace hammers a single item base from many goroutines
+// on a 4-partition engine: per-base FIFO admission must keep the hot
+// base's timeline equal to the admitted value order, the cascade must
+// copy every write, and the trace must stay checker-clean.  Run with
+// -race this is the engine's memory-safety stress.
+func TestParallelHotBaseRace(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	sp := paraSpec(t, 2)
+	initial := data.NewInterpretation()
+	initial.Set(data.Item("G0"), data.NewInt(0))
+	sh := New("s", sp, Options{Clock: clk, Workers: 4,
+		Trace: trace.NewSharded(initial, 4)})
+	sh.AddSite("S", nil)
+	sh.WriteAux(data.Item("G0"), data.NewInt(0))
+	if err := sh.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const gs, per = 8, 100
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				mu.Lock()
+				next++
+				v := next
+				mu.Unlock()
+				sh.Spontaneous(data.Item("X0"), data.NewInt(v-1), data.NewInt(v))
+			}
+		}()
+	}
+	wg.Wait()
+	sh.Drain()
+	sh.Stop()
+
+	tr := sh.Trace()
+	x0, y0 := tr.Timeline(data.Item("X0")), tr.Timeline(data.Item("Y0"))
+	if len(x0) != gs*per+1 {
+		t.Fatalf("X0 timeline has %d samples, want %d", len(x0), gs*per+1)
+	}
+	if len(y0) != len(x0) {
+		t.Fatalf("Y0 copied %d values for %d X0 writes", len(y0)-1, len(x0)-1)
+	}
+	// Y0's value order must equal X0's committed order (per-base FIFO).
+	for i := range x0 {
+		if !x0[i].V.Equal(y0[i].V) {
+			t.Fatalf("Y0[%d] = %s, want X0's %s", i, y0[i].V, x0[i].V)
+		}
+	}
+	checker := trace.NewChecker(append(sp.Rules, sh.ImplicitRules()...))
+	if vs := checker.Check(tr); len(vs) != 0 {
+		t.Fatalf("%d violations, first: %s", len(vs), vs[0])
+	}
+}
+
+// TestFootprintClosure checks the precomputed unit footprints: a trigger
+// base's footprint must cover the partitions of everything its cascade
+// can reach — the copy target, the chain target, the conditioned target,
+// and the shared condition base — while an unrelated base stays confined
+// to its own partition.
+func TestFootprintClosure(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	sp := paraSpec(t, 4)
+	sh := New("s", sp, Options{Clock: clk, Workers: 4})
+	sh.AddSite("S", nil)
+	if err := sh.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Stop()
+	p := sh.par
+	fp := p.baseFootprint("X1")
+	for _, base := range []string{"X1", "Y1", "Z1", "Q1", "G0"} {
+		if fp&(1<<p.partOf(base)) == 0 {
+			t.Errorf("footprint of X1 misses partition of %s", base)
+		}
+	}
+	if got := p.baseFootprint("unrelated"); got != 1<<p.partOf("unrelated") {
+		t.Errorf("unknown base footprint = %b, want its own partition only", got)
+	}
+	// The chain rule k1 fires on W(Y1): its footprint covers Y1 and Z1.
+	r, ok := sp.RuleRefByID("k1")
+	if !ok {
+		t.Fatal("rule k1 missing")
+	}
+	rfp := p.ruleFootprint(r)
+	for _, base := range []string{"Y1", "Z1"} {
+		if rfp&(1<<p.partOf(base)) == 0 {
+			t.Errorf("footprint of rule k1 misses partition of %s", base)
+		}
+	}
+}
+
+// TestParallelAdmission exercises per-partition overload protection: with
+// every partition's worker wedged on a full-footprint unit, external work
+// beyond QueueLimit must be shed and counted, and everything admitted
+// must still execute.
+func TestParallelAdmission(t *testing.T) {
+	clk := vclock.NewVirtual(vclock.Epoch)
+	sp := paraSpec(t, 2)
+	sh := New("s", sp, Options{Clock: clk, Workers: 2, QueueLimit: 1, Admission: AdmitShed})
+	sh.AddSite("S", nil)
+	if err := sh.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Stop()
+	running := make(chan struct{})
+	release := make(chan struct{})
+	sh.Do(func() {
+		close(running)
+		<-release
+	})
+	<-running // all partitions' data locks are now held by the Do unit
+	shed0 := sh.m.shed.Value()
+	for i := 0; i < 6; i++ {
+		sh.Spontaneous(data.Item("X0"), data.NewInt(int64(i)), data.NewInt(int64(i+1)))
+	}
+	if got := sh.m.shed.Value() - shed0; got == 0 {
+		t.Error("no external work was shed past QueueLimit")
+	}
+	close(release)
+	sh.Drain()
+	if vs := trace.NewChecker(append(sp.Rules, sh.ImplicitRules()...)).Check(sh.Trace()); len(vs) != 0 {
+		t.Fatalf("%d violations after shedding, first: %s", len(vs), vs[0])
+	}
+}

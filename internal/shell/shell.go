@@ -57,6 +57,16 @@ type Options struct {
 	// reorders admitted ones, so the Appendix A.2 ordering properties still
 	// hold for everything admitted.
 	Admission Admission
+	// Workers selects the execution engine.  0 or 1 keeps the classic
+	// single-goroutine run-to-completion queue; N > 1 partitions the
+	// dispatch index by item base into N lock-striped partitions, each
+	// drained by its own worker goroutine, with rule firings isolated by
+	// per-partition footprint locks and committed to the trace through a
+	// single serialized commit point (DESIGN.md §9 documents the model and
+	// why the Appendix A.2 checker order is preserved).  WorkersAuto sizes
+	// the pool to GOMAXPROCS.  In parallel mode QueueLimit bounds each
+	// partition's queue separately.
+	Workers int
 }
 
 // Admission is the policy applied to external work when the post queue
@@ -121,10 +131,15 @@ type Shell struct {
 	dispatchIdx map[dispatchKey][]*rule.Rule
 	scanAll     bool
 
-	// scratch state for the match loop; handleEvent and executeSteps are
-	// serialized on the shell queue, so one instance per shell is safe.
-	scratchB event.Bindings
-	evalEnv  shellEnv
+	// eng is the serial execution context (scratch bindings + eval env for
+	// the match loop); the post queue serializes all use of it.  In
+	// parallel mode each partition worker has its own exec and eng backs
+	// only pre-Start and timer-goroutine paths.
+	eng *exec
+	// par is the parallel engine (nil in serial mode), built by Start when
+	// Options.Workers resolves to more than one partition.
+	par     *parallel
+	workers int
 
 	// private CM data (Section 3.2: "Each CM-Shell can have private data");
 	// dur journals every write when durable state is enabled, durErr
@@ -170,9 +185,11 @@ type shellMetrics struct {
 	replayed     *obs.Counter
 	failMetric   *obs.Counter
 	failLogical  *obs.Counter
-	latency      *obs.Histogram
+	latencyVec   *obs.HistogramVec
 	shed         *obs.Counter
 	qdepth       *obs.Gauge
+	workers      *obs.Gauge
+	partDepth    *obs.GaugeVec
 	ring         *obs.Ring
 	base         DeliveryCounts
 }
@@ -226,12 +243,16 @@ func newShellMetrics(reg *obs.Registry, ring *obs.Ring, id string) shellMetrics 
 			"Buffered messages replayed in order and acknowledged after a degraded link recovered.", "shell").With(id),
 		failMetric: reg.Counter("cmtk_shell_failures_total",
 			"Interface failures observed (local and propagated), by Section 5 kind.", "shell", "kind").With(id, "metric"),
-		latency: reg.Histogram("cmtk_shell_fire_latency_seconds",
-			"Delay from trigger event to RHS execution, on the shell clock.", nil, "shell").With(id),
+		latencyVec: reg.Histogram("cmtk_shell_fire_latency_seconds",
+			"Delay from trigger event to RHS execution, on the shell clock.", nil, "shell", "partition"),
 		shed: reg.Counter("cmtk_shell_shed_total",
 			"External work rejected by AdmitShed because the post queue was at QueueLimit.", "shell").With(id),
 		qdepth: reg.Gauge("cmtk_shell_queue_depth",
 			"Current depth of the shell's run-to-completion post queue.", "shell").With(id),
+		workers: reg.Gauge("cmtk_shell_workers",
+			"Configured execution partitions/workers for the shell (1 = serial engine).", "shell").With(id),
+		partDepth: reg.Gauge("cmtk_shell_partition_depth",
+			"Current depth of one partition's unit queue in the parallel engine.", "shell", "partition"),
 		ring: ring,
 	}
 	m.failLogical = reg.Counter("cmtk_shell_failures_total", "", "shell", "kind").With(id, "logical")
@@ -250,9 +271,13 @@ func New(id string, spec *rule.Spec, opts Options) *Shell {
 	if clock == nil {
 		clock = vclock.Real{}
 	}
+	workers := resolveWorkers(opts.Workers)
 	tr := opts.Trace
 	if tr == nil {
-		tr = trace.New(nil)
+		// A private trace for a parallel engine is sharded to match the
+		// partition count, so trace appends on unrelated item bases do not
+		// re-serialize on one lock.
+		tr = trace.NewSharded(nil, workers)
 	}
 	s := &Shell{
 		id:         id,
@@ -260,6 +285,7 @@ func New(id string, spec *rule.Spec, opts Options) *Shell {
 		clock:      clock,
 		tr:         tr,
 		opts:       opts,
+		workers:    workers,
 		sites:      map[string]cmi.Interface{},
 		routing:    map[string]string{},
 		private:    data.NewInterpretation(),
@@ -267,11 +293,11 @@ func New(id string, spec *rule.Spec, opts Options) *Shell {
 		implicit:   map[implID]rule.Rule{},
 		subscribed: map[string]bool{},
 		scanAll:    opts.ScanDispatch,
-		scratchB:   event.Bindings{},
 		m:          newShellMetrics(opts.Metrics, opts.Fires, id),
 	}
 	s.qcond = sync.NewCond(&s.qmu)
-	s.evalEnv.s = s
+	s.eng = newExec(s, 0)
+	s.m.workers.Set(int64(workers))
 	return s
 }
 
@@ -516,19 +542,23 @@ func (s *Shell) Start() error {
 		s.subscribed[base] = true
 		s.cancels = append(s.cancels, cancel)
 	}
-	// Periodic events.
+	// Periodic events.  P rules may touch anything their cascades reach, so
+	// in parallel mode the unit takes the full footprint.
 	for p, site := range periods {
 		p := p
 		site := site
 		tm := vclock.Every(s.clock, p, func() {
-			s.post(func() {
-				e := s.record(&event.Event{Time: s.clock.Now(), Site: site, Desc: event.P(p)})
-				s.handleEvent(e)
+			s.execAll(false, func(x *exec) {
+				e := x.record(&event.Event{Time: s.clock.Now(), Site: site, Desc: event.P(p)})
+				x.handleEvent(e)
 			})
 		})
 		s.periodics = append(s.periodics, tm)
 	}
 	s.buildDispatchIndex()
+	if s.workers > 1 {
+		s.par = newParallel(s)
+	}
 	s.started = true
 	return nil
 }
@@ -559,7 +589,9 @@ func (s *Shell) buildDispatchIndex() {
 	}
 }
 
-// Stop cancels subscriptions and periodic schedules.
+// Stop cancels subscriptions and periodic schedules.  A parallel engine
+// drains its queued units and joins its workers before the transport
+// closes, so in-flight firings are committed, not lost.
 func (s *Shell) Stop() {
 	for _, tm := range s.periodics {
 		tm.Stop()
@@ -569,6 +601,10 @@ func (s *Shell) Stop() {
 		c()
 	}
 	s.cancels = nil
+	if s.par != nil {
+		s.par.close()
+		s.par = nil
+	}
 	if s.ep != nil {
 		s.ep.Close()
 	}
@@ -682,10 +718,33 @@ func curGID() uint64 {
 	return 0
 }
 
-// record appends an event to the trace.
-func (s *Shell) record(e *event.Event) *event.Event {
-	s.m.events.Inc()
-	return s.tr.Append(e)
+// record appends an event to the trace — directly in serial mode, or
+// into the running unit's buffer in parallel mode, where the sequence
+// number and final timestamp are assigned at the unit's commit point.
+func (x *exec) record(e *event.Event) *event.Event {
+	x.s.m.events.Inc()
+	if x.unit != nil {
+		x.unit.events = append(x.unit.events, e)
+		return e
+	}
+	return x.s.tr.Append(e)
+}
+
+// Drain blocks until every queued and in-flight unit of work has been
+// processed (serial: the post queue is empty and idle; parallel: all
+// partition queues are empty, no unit is running, and buffered remote
+// sends have been handed to the transport).  Work scheduled on timers
+// that have not fired yet is not waited for.
+func (s *Shell) Drain() {
+	if s.par != nil {
+		s.par.drain()
+		return
+	}
+	s.qmu.Lock()
+	for s.queue.n > 0 || s.processing {
+		s.qcond.Wait()
+	}
+	s.qmu.Unlock()
 }
 
 // pendID identifies a CM-initiated write for trigger suppression; a
@@ -716,18 +775,18 @@ func (s *Shell) onSourceChange(site string, item data.ItemName, old, new data.Va
 		return
 	}
 	s.pendMu.Unlock()
-	s.enqueue(func() {
+	s.execBase(item.Base, true, func(x *exec) {
 		now := s.clock.Now()
-		ws := s.record(&event.Event{Time: now, Site: site, Desc: event.Ws(item, old, new)})
+		ws := x.record(&event.Event{Time: now, Site: site, Desc: event.Ws(item, old, new)})
 		notifRule := s.implicitRule("notify", site, item)
-		n := s.record(&event.Event{
+		n := x.record(&event.Event{
 			Time: now, Site: site,
 			Desc: event.N(item, new),
 			Rule: notifRule.ID, Trigger: ws,
 		})
-		s.handleEvent(ws)
-		s.handleEvent(n)
-	}, true)
+		x.handleEvent(ws)
+		x.handleEvent(n)
+	})
 }
 
 // Spontaneous injects a spontaneous write for items without a translator
@@ -742,18 +801,20 @@ func (s *Shell) Spontaneous(item data.ItemName, old, new data.Value) {
 			s.setPrivate(item, new)
 		}
 	}
-	s.enqueue(func() {
-		e := s.record(&event.Event{Time: s.clock.Now(), Site: site, Desc: event.Ws(item, old, new)})
-		s.handleEvent(e)
-	}, true)
+	s.execBase(item.Base, true, func(x *exec) {
+		e := x.record(&event.Event{Time: s.clock.Now(), Site: site, Desc: event.Ws(item, old, new)})
+		x.handleEvent(e)
+	})
 }
 
 // handleEvent matches an event against the owned rules and dispatches
-// firings.  It must run on the shell's queue.
-func (s *Shell) handleEvent(e *event.Event) {
+// firings.  It must run on the shell's queue (serial) or inside a unit
+// whose footprint covers the event's base (parallel).
+func (x *exec) handleEvent(e *event.Event) {
+	s := x.s
 	if s.scanAll || s.dispatchIdx == nil {
 		for i := range s.owned {
-			s.matchRule(&s.owned[i], e)
+			x.matchRule(&s.owned[i], e)
 		}
 		return
 	}
@@ -762,16 +823,17 @@ func (s *Shell) handleEvent(e *event.Event) {
 		k.base = e.Desc.Item.Base
 	}
 	for _, r := range s.dispatchIdx[k] {
-		s.matchRule(r, e)
+		x.matchRule(r, e)
 	}
 }
 
 // matchRule tries one rule against one event, dispatching on a match
 // whose condition holds.  The scratch bindings map is reused across
-// attempts (handleEvent is queue-serialized) and cloned only for actual
+// attempts (each exec is single-threaded) and cloned only for actual
 // firings.
-func (s *Shell) matchRule(r *rule.Rule, e *event.Event) {
-	b := s.scratchB
+func (x *exec) matchRule(r *rule.Rule, e *event.Event) {
+	s := x.s
+	b := x.scratchB
 	clear(b)
 	if !r.LHS.MatchInto(e.Desc, b) {
 		return
@@ -780,7 +842,7 @@ func (s *Shell) matchRule(r *rule.Rule, e *event.Event) {
 	// equality-binding semantics (Read interface pattern).  A nil
 	// condition needs no environment at all.
 	if r.Cond != nil {
-		condOK, err := rule.EvalCondBinding(r.Cond, s.env(e.Site, b), b)
+		condOK, err := rule.EvalCondBinding(r.Cond, x.env(e.Site, b), b)
 		if err != nil {
 			s.reportFailure(cmi.Failure{
 				Kind: cmi.FailLogical, Site: e.Site, When: s.clock.Now(),
@@ -795,22 +857,32 @@ func (s *Shell) matchRule(r *rule.Rule, e *event.Event) {
 	s.m.matches.Inc()
 	bCopy := b.Clone()
 	if s.opts.FireDelay == 0 {
-		// Dispatch inline: handleEvent runs on the shell queue, so
-		// firings leave in match order and the FIFO transport keeps
-		// them ordered — required on the real clock, where timer
-		// goroutines would otherwise race (Appendix A.2 property 7).
-		s.dispatch(r, bCopy, e)
+		// Dispatch inline: the exec runs one unit at a time, so firings
+		// leave in match order and the FIFO transport keeps them ordered —
+		// required on the real clock, where timer goroutines would
+		// otherwise race (Appendix A.2 property 7).
+		x.dispatch(r, bCopy, e)
 		return
 	}
 	trigger := e
 	s.clock.AfterFunc(s.opts.FireDelay, func() {
-		s.dispatch(r, bCopy, trigger)
+		// The timer goroutine is outside any unit: in serial mode dispatch
+		// posts to the shell queue exactly as before; in parallel mode the
+		// delayed firing becomes its own unit keyed by the rule.
+		if s.par != nil {
+			s.execRuleKey("rule:"+r.ID, r, false, func(x *exec) {
+				x.dispatch(r, bCopy, trigger)
+			})
+			return
+		}
+		s.eng.dispatch(r, bCopy, trigger)
 	})
 }
 
 // dispatch routes a rule firing to the shell hosting the RHS site.  It
 // takes ownership of b.
-func (s *Shell) dispatch(r *rule.Rule, b event.Bindings, trigger *event.Event) {
+func (x *exec) dispatch(r *rule.Rule, b event.Bindings, trigger *event.Event) {
+	s := x.s
 	effSite, err := effectSite(s.spec, *r)
 	if err != nil || effSite == "" {
 		return
@@ -831,7 +903,14 @@ func (s *Shell) dispatch(r *rule.Rule, b event.Bindings, trigger *event.Event) {
 			TriggerDesc: &trigger.Desc, Seq: trigger.Seq,
 			Matched: trigger.Time, Dispatched: s.clock.Now(),
 		})
-		s.post(func() { s.executeSteps(r, b, trigger) })
+		if x.unit != nil {
+			// The cascade stays inside the current unit: the continuation
+			// runs after the trigger's other matches, exactly like the
+			// serial queue, and its events commit in the same seq block.
+			x.unit.cont.push(func() { x.executeSteps(r, b, trigger) })
+			return
+		}
+		s.post(func() { s.eng.executeSteps(r, b, trigger) })
 		return
 	}
 	if s.ep == nil {
@@ -841,6 +920,23 @@ func (s *Shell) dispatch(r *rule.Rule, b event.Bindings, trigger *event.Event) {
 		}, true)
 		return
 	}
+	if x.unit != nil {
+		// Buffer the send: it is flushed at the unit's commit point, after
+		// the trigger's sequence number and timestamp are final, so
+		// per-link send order equals trace commit order (property 7).
+		x.unit.sends = append(x.unit.sends, pendingSend{
+			target: target, effSite: effSite, r: r, b: b, trigger: trigger,
+		})
+		return
+	}
+	s.sendFire(pendingSend{target: target, effSite: effSite, r: r, b: b, trigger: trigger})
+}
+
+// sendFire hands one rule firing to the transport.  Serial dispatch calls
+// it inline; the parallel engine's sender goroutine calls it after the
+// firing's unit committed.
+func (s *Shell) sendFire(ps pendingSend) {
+	r, trigger := ps.r, ps.trigger
 	// Trigger.Desc stays blank and the bindings ride as values: an
 	// in-process receiver uses TriggerEvent and BindingsVal directly, and a
 	// serializing transport renders both wire fields via Message.WireReady
@@ -848,31 +944,31 @@ func (s *Shell) dispatch(r *rule.Rule, b event.Bindings, trigger *event.Event) {
 	msg := transport.Message{
 		Kind:         "fire",
 		Rule:         r.ID,
-		BindingsVal:  b,
+		BindingsVal:  ps.b,
 		Trigger:      transport.EventRef{Site: trigger.Site, Seq: trigger.Seq, Time: trigger.Time},
 		TriggerEvent: trigger,
 	}
 	s.m.remoteFires.Inc()
-	if err := s.ep.Send(target, msg); err != nil {
+	if err := s.ep.Send(ps.target, msg); err != nil {
 		// A raw endpoint rejected the send and the firing is gone for good;
 		// a reliable endpoint never errors here — it buffers and reports
 		// link health through onLinkEvent instead.
 		s.m.droppedFires.Inc()
 		s.m.ring.Record(obs.FireTrace{
-			Rule: r.ID, Shell: s.id, Site: trigger.Site, Target: target,
+			Rule: r.ID, Shell: s.id, Site: trigger.Site, Target: ps.target,
 			Outcome: obs.OutcomeDropped,
 			TriggerDesc: &trigger.Desc, Seq: trigger.Seq,
 			Matched: trigger.Time, Dispatched: s.clock.Now(),
 		})
 		s.reportFailure(cmi.Failure{
-			Kind: cmi.FailMetric, Site: effSite, When: s.clock.Now(),
+			Kind: cmi.FailMetric, Site: ps.effSite, When: s.clock.Now(),
 			Op:  "send fire " + r.ID,
-			Err: fmt.Errorf("rule %s to shell %s: %w", r.ID, target, err),
+			Err: fmt.Errorf("rule %s to shell %s: %w", r.ID, ps.target, err),
 		}, true)
 		return
 	}
 	s.m.ring.Record(obs.FireTrace{
-		Rule: r.ID, Shell: s.id, Site: trigger.Site, Target: target,
+		Rule: r.ID, Shell: s.id, Site: trigger.Site, Target: ps.target,
 		Outcome: obs.OutcomeSent,
 		TriggerDesc: &trigger.Desc, Seq: trigger.Seq,
 		Matched: trigger.Time, Dispatched: s.clock.Now(),
@@ -920,7 +1016,13 @@ func (s *Shell) receive(m transport.Message) {
 			}
 		}
 		s.m.recvFires.Inc()
-		s.enqueue(func() { s.executeSteps(r, b, trigger) }, true)
+		// Route by sender link, not effect base: the transport delivers each
+		// link's fires in order, and keeping one link's fires on one
+		// partition queue preserves that order through execution — two fires
+		// for different bases at the same effect site must not commit
+		// inverted (Appendix A.2 property 7 groups by trigger and effect
+		// site, not by item).
+		s.execRuleKey("link:"+m.From, r, true, func(x *exec) { x.executeSteps(r, b, trigger) })
 	case "failure":
 		kind := cmi.FailMetric
 		if m.FailKind == "logical" {
@@ -948,7 +1050,7 @@ func (s *Shell) receiveCustom(m transport.Message) {
 	fn := s.custom[m.Kind]
 	s.failMu.Unlock()
 	if fn != nil {
-		s.post(func() { fn(m) })
+		s.execAll(false, func(*exec) { fn(m) })
 	}
 }
 
@@ -962,10 +1064,10 @@ func (s *Shell) RequestWrite(item data.ItemName, v data.Value) {
 	if !ok {
 		site = s.id
 	}
-	s.enqueue(func() {
+	s.execBase(item.Base, true, func(x *exec) {
 		desc := event.WR(item, v)
-		wr := s.record(&event.Event{Time: s.clock.Now(), Site: site, Desc: desc})
-		s.handleEvent(wr)
+		wr := x.record(&event.Event{Time: s.clock.Now(), Site: site, Desc: desc})
+		x.handleEvent(wr)
 		iface := s.sites[site]
 		if s.spec.Private[item.Base] != "" {
 			iface = nil // CM-private items never go through a translator
@@ -973,19 +1075,19 @@ func (s *Shell) RequestWrite(item data.ItemName, v data.Value) {
 		if iface == nil {
 			s.setPrivate(item, v)
 			writeRule := s.implicitRule("write", site, item)
-			w := s.record(&event.Event{Time: s.clock.Now(), Site: site,
+			w := x.record(&event.Event{Time: s.clock.Now(), Site: site,
 				Desc: event.W(item, v), Rule: writeRule.ID, Trigger: wr})
-			s.handleEvent(w)
+			x.handleEvent(w)
 			return
 		}
 		if !s.translatorWrite(iface, desc) {
 			return
 		}
 		writeRule := s.implicitRule("write", site, item)
-		w := s.record(&event.Event{Time: s.clock.Now(), Site: site,
+		w := x.record(&event.Event{Time: s.clock.Now(), Site: site,
 			Desc: event.W(item, v), Rule: writeRule.ID, Trigger: wr})
-		s.handleEvent(w)
-	}, true)
+		x.handleEvent(w)
+	})
 }
 
 // Interface returns the translator for a hosted site (nil when the site
@@ -993,7 +1095,9 @@ func (s *Shell) RequestWrite(item data.ItemName, v data.Value) {
 func (s *Shell) Interface(site string) cmi.Interface { return s.sites[site] }
 
 // Do runs f on the shell's event queue, serialized with event handling.
-func (s *Shell) Do(f func()) { s.post(f) }
+// In parallel mode the unit takes the full footprint, so f excludes every
+// concurrent rule firing, like the serial queue always did.
+func (s *Shell) Do(f func()) { s.execAll(false, func(*exec) { f() }) }
 
 // HandleKind registers a handler for a custom inter-shell message kind
 // (programmatic strategy components such as the Demarcation Protocol use
@@ -1029,10 +1133,11 @@ func stubTrigger(ref transport.EventRef) *event.Event {
 	return e
 }
 
-// executeSteps runs the RHS of a rule at this shell.  Runs on the queue;
-// it owns b (both callers — dispatch and receive — hand over a private
-// map, so no defensive clone is needed to extend it).
-func (s *Shell) executeSteps(r *rule.Rule, b event.Bindings, trigger *event.Event) {
+// executeSteps runs the RHS of a rule at this shell.  Runs on the queue
+// or inside a unit; it owns b (both callers — dispatch and receive — hand
+// over a private map, so no defensive clone is needed to extend it).
+func (x *exec) executeSteps(r *rule.Rule, b event.Bindings, trigger *event.Event) {
+	s := x.s
 	now := s.clock.Now()
 	s.m.ring.Record(obs.FireTrace{
 		Rule: r.ID, Shell: s.id, Site: trigger.Site,
@@ -1041,7 +1146,7 @@ func (s *Shell) executeSteps(r *rule.Rule, b event.Bindings, trigger *event.Even
 		Matched: trigger.Time, Executed: now,
 	})
 	if d := now.Sub(trigger.Time); d >= 0 && !trigger.Time.IsZero() {
-		s.m.latency.Observe(d.Seconds())
+		x.latency.Observe(d.Seconds())
 	}
 	// The reserved parameter "now" is bound to the current time at the
 	// effect site when the rule fires (used by monitor strategies to
@@ -1068,7 +1173,7 @@ func (s *Shell) executeSteps(r *rule.Rule, b event.Bindings, trigger *event.Even
 			if !ok {
 				evalSite = s.id
 			}
-			v, err := step.ValExpr.Eval(s.env(evalSite, b))
+			v, err := step.ValExpr.Eval(x.env(evalSite, b))
 			if err != nil {
 				s.reportFailure(cmi.Failure{
 					Kind: cmi.FailLogical, Site: evalSite, When: s.clock.Now(),
@@ -1095,7 +1200,7 @@ func (s *Shell) executeSteps(r *rule.Rule, b event.Bindings, trigger *event.Even
 		// The step guard is evaluated against data local to the effect
 		// site at firing time.
 		if step.Cond != nil {
-			ok, err := rule.EvalBool(step.Cond, s.env(site, b))
+			ok, err := rule.EvalBool(step.Cond, x.env(site, b))
 			if err != nil {
 				s.reportFailure(cmi.Failure{
 					Kind: cmi.FailLogical, Site: site, When: s.clock.Now(),
@@ -1107,57 +1212,58 @@ func (s *Shell) executeSteps(r *rule.Rule, b event.Bindings, trigger *event.Even
 				continue
 			}
 		}
-		s.emit(r, desc, site, trigger)
+		x.emit(r, desc, site, trigger)
 	}
 }
 
 // emit performs one effect event.
-func (s *Shell) emit(r *rule.Rule, desc event.Desc, site string, trigger *event.Event) {
+func (x *exec) emit(r *rule.Rule, desc event.Desc, site string, trigger *event.Event) {
+	s := x.s
 	now := s.clock.Now()
 	switch desc.Op {
 	case event.OpWR:
-		wr := s.record(&event.Event{Time: now, Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
-		s.handleEvent(wr)
+		wr := x.record(&event.Event{Time: now, Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
+		x.handleEvent(wr)
 		iface := s.sites[site]
 		if iface == nil {
 			// No translator: treat as a write to private/engine state.
-			s.performPrivateWrite(r, desc, site, wr)
+			x.performPrivateWrite(r, desc, site, wr)
 			return
 		}
 		if !s.translatorWrite(iface, desc) {
 			return // failure already reported by the translator hub
 		}
 		writeRule := s.implicitRule("write", site, desc.Item)
-		w := s.record(&event.Event{
+		w := x.record(&event.Event{
 			Time: s.clock.Now(), Site: site,
 			Desc: event.W(desc.Item, desc.Val),
 			Rule: writeRule.ID, Trigger: wr,
 		})
-		s.handleEvent(w)
+		x.handleEvent(w)
 	case event.OpW:
 		// Direct write: CM-private items live in the shell; a W effect on
 		// a database item performs the write immediately (no request hop).
 		if s.spec.Private[desc.Item.Base] != "" {
-			w := s.record(&event.Event{Time: now, Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
+			w := x.record(&event.Event{Time: now, Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
 			s.setPrivate(desc.Item, desc.Val)
-			s.handleEvent(w)
+			x.handleEvent(w)
 			return
 		}
 		iface := s.sites[site]
 		if iface == nil {
-			w := s.record(&event.Event{Time: now, Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
+			w := x.record(&event.Event{Time: now, Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
 			s.setPrivate(desc.Item, desc.Val)
-			s.handleEvent(w)
+			x.handleEvent(w)
 			return
 		}
 		if !s.translatorWrite(iface, desc) {
 			return
 		}
-		w := s.record(&event.Event{Time: s.clock.Now(), Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
-		s.handleEvent(w)
+		w := x.record(&event.Event{Time: s.clock.Now(), Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
+		x.handleEvent(w)
 	case event.OpRR:
-		rr := s.record(&event.Event{Time: now, Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
-		s.handleEvent(rr)
+		rr := x.record(&event.Event{Time: now, Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
+		x.handleEvent(rr)
 		iface := s.sites[site]
 		var v data.Value
 		if iface != nil {
@@ -1174,15 +1280,15 @@ func (s *Shell) emit(r *rule.Rule, desc event.Desc, site string, trigger *event.
 			s.privMu.RUnlock()
 		}
 		readRule := s.implicitRule("read", site, desc.Item)
-		resp := s.record(&event.Event{
+		resp := x.record(&event.Event{
 			Time: s.clock.Now(), Site: site,
 			Desc: event.R(desc.Item, v),
 			Rule: readRule.ID, Trigger: rr,
 		})
-		s.handleEvent(resp)
+		x.handleEvent(resp)
 	case event.OpN:
-		n := s.record(&event.Event{Time: now, Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
-		s.handleEvent(n)
+		n := x.record(&event.Event{Time: now, Site: site, Desc: desc, Rule: r.ID, Trigger: trigger})
+		x.handleEvent(n)
 	default:
 		s.reportFailure(cmi.Failure{
 			Kind: cmi.FailLogical, Site: site, When: now,
@@ -1191,15 +1297,16 @@ func (s *Shell) emit(r *rule.Rule, desc event.Desc, site string, trigger *event.
 	}
 }
 
-func (s *Shell) performPrivateWrite(r *rule.Rule, desc event.Desc, site string, wr *event.Event) {
+func (x *exec) performPrivateWrite(r *rule.Rule, desc event.Desc, site string, wr *event.Event) {
+	s := x.s
 	s.setPrivate(desc.Item, desc.Val)
 	writeRule := s.implicitRule("write", site, desc.Item)
-	w := s.record(&event.Event{
+	w := x.record(&event.Event{
 		Time: s.clock.Now(), Site: site,
 		Desc: event.W(desc.Item, desc.Val),
 		Rule: writeRule.ID, Trigger: wr,
 	})
-	s.handleEvent(w)
+	x.handleEvent(w)
 }
 
 // translatorWrite performs a write through a translator with echo
@@ -1232,13 +1339,13 @@ func (s *Shell) translatorWrite(iface cmi.Interface, desc event.Desc) bool {
 
 // env builds the condition-evaluation environment for a site: CM-private
 // items plus the site's database items through its translator.  The
-// shell's single evalEnv is reused — expression evaluation is synchronous
-// and every caller runs on the shell queue, so returning a pointer into
-// the shell costs no allocation per evaluation.
-func (s *Shell) env(site string, b event.Bindings) rule.Env {
-	s.evalEnv.site = site
-	s.evalEnv.params = b
-	return &s.evalEnv
+// exec's single evalEnv is reused — expression evaluation is synchronous
+// and each exec runs one unit at a time, so returning a pointer into the
+// exec costs no allocation per evaluation.
+func (x *exec) env(site string, b event.Bindings) rule.Env {
+	x.evalEnv.site = site
+	x.evalEnv.params = b
+	return &x.evalEnv
 }
 
 type shellEnv struct {

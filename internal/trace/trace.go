@@ -13,12 +13,34 @@
 // mostly — pay for materializing one.  NewCloning preserves the original
 // clone-per-append representation for equivalence testing and as the
 // baseline arm of the E14 saturation experiment.
+//
+// # Concurrency
+//
+// The store is lock-striped by item base: NewSharded splits the per-item
+// timelines, the current state, and the event log across N shards, each
+// behind its own mutex, so appends to unrelated item bases contend only
+// on the atomic sequence counter.  Sequence numbers come from one atomic
+// counter, which makes seq order a linearization of the execution: if
+// Append(A) returns before Append(B) is called, A.Seq < B.Seq.  Readers
+// that need the whole execution (Events, the checker) merge the shards by
+// sequence number.
+//
+// AppendUnit is the serialized commit point the parallel shell engine
+// uses: it assigns one contiguous block of sequence numbers to a whole
+// unit of work (a trigger event plus everything its rule firings
+// generated), stamps the unit's events with a single commit-time
+// timestamp, and publishes them to their shards — all under one commit
+// mutex, so units are atomic in seq order and commit-time order equals
+// seq order.  DESIGN.md §9 documents why this preserves the checker's
+// observed order.
 package trace
 
 import (
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cmtk/internal/data"
@@ -30,33 +52,72 @@ import (
 // events can answer for their old/new components per Appendix A.2
 // properties 2 and 3.  Trace is safe for concurrent use.
 type Trace struct {
-	mu      sync.Mutex
-	events  []*event.Event
-	state   data.Interpretation // current state, mutated in place
 	initial data.Interpretation
+	shards  []traceShard
+	mask    uint64
+	seq     atomic.Uint64
+	// commitMu serializes AppendUnit commits: sequence-block assignment,
+	// commit-time stamping, shard publication, and the caller's post-commit
+	// hook happen atomically with respect to other units.
+	commitMu sync.Mutex
+	// cloning selects the legacy representation: every append clones the
+	// full interpretation and stores eager old/new maps on the event.
+	// Cloning traces always have exactly one shard.
+	cloning bool
+}
+
+// traceShard is one lock stripe of the store: the events, per-item write
+// timelines, and current-state slice for the item bases that hash here.
+type traceShard struct {
+	mu     sync.Mutex
+	events []*event.Event // seq-ascending
 	// timelines holds, per item key, the performed-write events on that
 	// item in sequence order.  Write events are the only ones that change
 	// state, so the timelines are a complete versioned store: the state
 	// after any event is initial overlaid with each item's last write at
 	// or before that sequence number.
 	timelines map[string][]*event.Event
-	seq       uint64
-	// cloning selects the legacy representation: every append clones the
-	// full interpretation and stores eager old/new maps on the event.
-	cloning bool
+	state     data.Interpretation // current values of this shard's items
 }
+
+// shardSeed keys the base-name hash; one process-wide seed keeps shard
+// assignment consistent across traces (tests rely only on determinism
+// within a process).
+var shardSeed = maphash.MakeSeed()
 
 // New returns a trace starting from the given initial interpretation
 // (cloned; nil means the empty state).
 func New(initial data.Interpretation) *Trace {
+	return NewSharded(initial, 1)
+}
+
+// NewSharded returns a trace whose storage is striped across n shards by
+// item base (n is rounded up to a power of two; n < 1 means 1).  All read
+// APIs behave identically to New; parallel shell engines use a sharded
+// trace so appends on unrelated item bases do not serialize on one lock.
+func NewSharded(initial data.Interpretation, n int) *Trace {
 	if initial == nil {
 		initial = data.NewInterpretation()
 	}
-	return &Trace{
-		state:     initial.Clone(),
-		initial:   initial.Clone(),
-		timelines: map[string][]*event.Event{},
+	shards := 1
+	for shards < n {
+		shards <<= 1
 	}
+	t := &Trace{
+		initial: initial.Clone(),
+		shards:  make([]traceShard, shards),
+		mask:    uint64(shards - 1),
+	}
+	for i := range t.shards {
+		t.shards[i].timelines = map[string][]*event.Event{}
+		t.shards[i].state = data.NewInterpretation()
+	}
+	// Seed each shard's state slice with the initial items that hash to it,
+	// so Final and stateAtSeq are disjoint unions of the shards.
+	for key, v := range t.initial {
+		t.shards[t.ShardOf(baseOfKey(key))].state[key] = v
+	}
+	return t
 }
 
 // NewCloning returns a trace using the legacy clone-per-append
@@ -70,122 +131,271 @@ func NewCloning(initial data.Interpretation) *Trace {
 	return t
 }
 
+// Shards reports the number of lock stripes.
+func (t *Trace) Shards() int { return len(t.shards) }
+
+// ShardOf returns the shard index an item base maps to.
+func (t *Trace) ShardOf(base string) int {
+	if t.mask == 0 {
+		return 0
+	}
+	return int(maphash.String(shardSeed, base) & t.mask)
+}
+
+// baseOfKey extracts the item base from an interpretation key
+// (`salary1("e7")` → `salary1`; argument-free keys are their own base).
+func baseOfKey(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '(' {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+// shardForEvent picks the shard an event lands in: the shard of its item
+// base, or shard 0 for item-less events (P and F descriptors).
+func (t *Trace) shardForEvent(e *event.Event) *traceShard {
+	if !e.Desc.Op.HasItem() {
+		return &t.shards[0]
+	}
+	return &t.shards[t.ShardOf(e.Desc.Item.Base)]
+}
+
 // Append records the event, assigning its sequence number and wiring up
 // its old and new interpretation views from the running state.  It
 // returns the event for convenience.  The caller fills Time, Site, Desc,
 // Rule and Trigger; the state views and Seq are owned by the trace.
 func (t *Trace) Append(e *event.Event) *event.Event {
-	t.mu.Lock()
-	e.Seq = t.seq
-	t.seq++
+	sh := t.shardForEvent(e)
+	sh.mu.Lock()
+	e.Seq = t.seq.Add(1) - 1
+	t.appendLocked(sh, e)
+	sh.mu.Unlock()
+	return e
+}
+
+// appendLocked publishes an event into its shard; the caller holds the
+// shard lock and has already assigned e.Seq.  Events normally arrive in
+// seq order per shard (the seq draw happens under the shard lock, or
+// under the commit mutex for units); the out-of-order guard keeps the
+// shard's invariants if a single-append path races a unit commit into
+// the same shard.
+func (t *Trace) appendLocked(sh *traceShard, e *event.Event) {
 	if t.cloning {
-		old := t.state
+		old := sh.state
 		if e.Desc.Op.IsWrite() {
-			t.state = t.state.With(e.Desc.Item, e.Desc.Val)
+			sh.state = sh.state.With(e.Desc.Item, e.Desc.Val)
 		}
-		e.SetStates(old, t.state)
+		e.SetStates(old, sh.state)
 	} else {
 		e.SetStateSource(t)
 	}
 	if e.Desc.Op.IsWrite() {
 		key := e.Desc.Item.Key()
-		t.timelines[key] = append(t.timelines[key], e)
+		sh.timelines[key] = insertBySeq(sh.timelines[key], e)
 		if !t.cloning {
-			t.state.Set(e.Desc.Item, e.Desc.Val)
+			sh.state.Set(e.Desc.Item, e.Desc.Val)
 		}
 	}
-	t.events = append(t.events, e)
-	t.mu.Unlock()
-	return e
+	sh.events = insertBySeq(sh.events, e)
+}
+
+// insertBySeq appends e to a seq-ascending slice, falling back to a
+// sorted insert when e arrived out of order (rare: a raw Append racing a
+// unit commit into the same shard).
+func insertBySeq(s []*event.Event, e *event.Event) []*event.Event {
+	if n := len(s); n == 0 || s[n-1].Seq < e.Seq {
+		return append(s, e)
+	}
+	i := sort.Search(len(s), func(i int) bool { return s[i].Seq > e.Seq })
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = e
+	return s
+}
+
+// AppendUnit atomically commits a unit of work: it assigns the events one
+// contiguous block of sequence numbers (in slice order), stamps every
+// event with a single commit-time timestamp from now (when non-nil), and
+// publishes them to their shards — all under the trace's commit mutex, so
+// concurrent units are atomic in seq order and commit order equals both
+// seq order and stamp order.  then, when non-nil, runs while the commit
+// mutex is still held; the parallel shell engine flushes the unit's
+// remote sends there so per-link send order matches trace commit order
+// (Appendix A.2 property 7 across shells).
+func (t *Trace) AppendUnit(events []*event.Event, now func() time.Time, then func()) {
+	if len(events) == 0 && then == nil {
+		return
+	}
+	t.commitMu.Lock()
+	defer t.commitMu.Unlock()
+	if n := len(events); n > 0 {
+		base := t.seq.Add(uint64(n)) - uint64(n)
+		var stamp time.Time
+		if now != nil {
+			stamp = now()
+		}
+		for i, e := range events {
+			e.Seq = base + uint64(i)
+			if now != nil {
+				e.Time = stamp
+			}
+		}
+		for _, e := range events {
+			sh := t.shardForEvent(e)
+			sh.mu.Lock()
+			t.appendLocked(sh, e)
+			sh.mu.Unlock()
+		}
+	}
+	if then != nil {
+		then()
+	}
 }
 
 // StateBefore implements event.StateSource: the interpretation in force
 // before event seq.
 func (t *Trace) StateBefore(seq uint64) data.Interpretation {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stateAtSeqLocked(seq, false)
+	return t.stateAtSeq(seq, false)
 }
 
 // StateAfter implements event.StateSource: the interpretation in force
 // after event seq.
 func (t *Trace) StateAfter(seq uint64) data.Interpretation {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stateAtSeqLocked(seq, true)
+	return t.stateAtSeq(seq, true)
 }
 
-// stateAtSeqLocked materializes the interpretation at a sequence point:
+// stateAtSeq materializes the interpretation at a sequence point:
 // initial overlaid with each item's last write before seq (or at seq,
-// when inclusive).  O(items × log writes).
-func (t *Trace) stateAtSeqLocked(seq uint64, inclusive bool) data.Interpretation {
+// when inclusive).  O(items × log writes).  All shard locks are taken in
+// index order for a consistent cross-shard snapshot.
+func (t *Trace) stateAtSeq(seq uint64, inclusive bool) data.Interpretation {
 	bound := seq
 	if inclusive {
 		bound++
 	}
 	out := t.initial.Clone()
-	for key, tl := range t.timelines {
-		// First write with w.Seq >= bound; the one before it is in force.
-		i := sort.Search(len(tl), func(i int) bool { return tl[i].Seq >= bound })
-		if i == 0 {
-			continue
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for key, tl := range sh.timelines {
+			// First write with w.Seq >= bound; the one before it is in force.
+			j := sort.Search(len(tl), func(j int) bool { return tl[j].Seq >= bound })
+			if j == 0 {
+				continue
+			}
+			v := tl[j-1].Desc.Val
+			if v.IsNull() {
+				delete(out, key)
+			} else {
+				out[key] = v
+			}
 		}
-		v := tl[i-1].Desc.Val
-		if v.IsNull() {
-			delete(out, key)
-		} else {
-			out[key] = v
-		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // Find returns the recorded event with the given sequence number, or nil.
-// Append assigns sequence numbers densely from zero, so the lookup is a
-// direct index.  Deployments that share one trace across shells use this
-// to re-link a firing's trigger after the message lost its in-process
-// event pointer (a journaled replay, which crosses a process boundary in
-// spirit even when it does not in fact).
+// Each shard's event list is seq-ascending, so the lookup is a binary
+// search per shard.  Deployments that share one trace across shells use
+// this to re-link a firing's trigger after the message lost its
+// in-process event pointer (a journaled replay, which crosses a process
+// boundary in spirit even when it does not in fact).
 func (t *Trace) Find(seq uint64) *event.Event {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if seq >= uint64(len(t.events)) {
-		return nil
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		j := sort.Search(len(sh.events), func(j int) bool { return sh.events[j].Seq >= seq })
+		if j < len(sh.events) && sh.events[j].Seq == seq {
+			e := sh.events[j]
+			sh.mu.Unlock()
+			return e
+		}
+		sh.mu.Unlock()
 	}
-	return t.events[seq]
+	return nil
 }
 
-// Events returns the recorded events as a read-only snapshot.  The slice
-// is shared with the trace (events are appended once and never mutated,
-// and the capacity is capped so a caller's append cannot clobber later
-// records); callers that need to reorder or extend it must copy —
-// experiment loops call this on every lookup, so the common read path
-// must not copy the whole history each time.
+// Events returns the recorded events in sequence order.  For a single
+// shard the slice is a read-only snapshot shared with the trace (events
+// are appended once and never mutated, and the capacity is capped so a
+// caller's append cannot clobber later records) — experiment loops call
+// this on every lookup, so the common read path must not copy the whole
+// history each time.  A sharded trace merges its stripes into a fresh
+// slice.
 func (t *Trace) Events() []*event.Event {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.events[:len(t.events):len(t.events)]
+	if len(t.shards) == 1 {
+		sh := &t.shards[0]
+		sh.mu.Lock()
+		out := sh.events[:len(sh.events):len(sh.events)]
+		sh.mu.Unlock()
+		return out
+	}
+	parts := make([][]*event.Event, len(t.shards))
+	total := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		parts[i] = sh.events[:len(sh.events):len(sh.events)]
+		sh.mu.Unlock()
+		total += len(parts[i])
+	}
+	return mergeBySeq(parts, total)
+}
+
+// mergeBySeq k-way merges seq-ascending event slices.
+func mergeBySeq(parts [][]*event.Event, total int) []*event.Event {
+	out := make([]*event.Event, 0, total)
+	idx := make([]int, len(parts))
+	for len(out) < total {
+		best := -1
+		var bestSeq uint64
+		for i, p := range parts {
+			if idx[i] >= len(p) {
+				continue
+			}
+			if s := p[idx[i]].Seq; best < 0 || s < bestSeq {
+				best, bestSeq = i, s
+			}
+		}
+		out = append(out, parts[best][idx[best]])
+		idx[best]++
+	}
+	return out
 }
 
 // Len reports the number of recorded events.
 func (t *Trace) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.events)
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += len(sh.events)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Initial returns the initial interpretation.
 func (t *Trace) Initial() data.Interpretation {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	return t.initial.Clone()
 }
 
-// Final returns the interpretation after the last recorded event.
+// Final returns the interpretation after the last recorded event.  Shard
+// states are disjoint by item base, so the result is their union.
 func (t *Trace) Final() data.Interpretation {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.state.Clone()
+	out := data.NewInterpretation()
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.state {
+			out[k] = v
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // StateAt returns the interpretation in force at instant at: the new
@@ -194,14 +404,13 @@ func (t *Trace) Final() data.Interpretation {
 // instant apply in sequence order, so the returned state reflects all of
 // them.
 func (t *Trace) StateAt(at time.Time) data.Interpretation {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	events := t.Events()
 	// Mirror the historical scan: the state is that of the last event
 	// before the first one whose time exceeds at (times are normally
 	// non-decreasing, but a violated trace may not be — the checker still
 	// sees the same state the eager representation would have recorded).
 	last := -1
-	for i, e := range t.events {
+	for i, e := range events {
 		if e.Time.After(at) {
 			break
 		}
@@ -210,7 +419,7 @@ func (t *Trace) StateAt(at time.Time) data.Interpretation {
 	if last < 0 {
 		return t.initial.Clone()
 	}
-	return t.stateAtSeqLocked(t.events[last].Seq, true)
+	return t.stateAtSeq(events[last].Seq, true)
 }
 
 // WalkNewStates calls fn for each recorded event in sequence order with
@@ -247,12 +456,14 @@ type Sample struct {
 // Timeline returns the distinct values item held over the execution, in
 // order, starting with its initial value.  Consecutive equal values are
 // collapsed; the guarantee checkers consume this.  Only the item's own
-// write timeline is scanned — O(writes to item), not O(events).
+// write timeline is scanned — O(writes to item), not O(events) — and only
+// the item's own shard is locked.
 func (t *Trace) Timeline(item data.ItemName) []Sample {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	sh := &t.shards[t.ShardOf(item.Base)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	out := []Sample{{V: t.initial.Get(item)}}
-	for _, e := range t.timelines[item.Key()] {
+	for _, e := range sh.timelines[item.Key()] {
 		v := e.Desc.Val
 		if !v.Equal(out[len(out)-1].V) {
 			out = append(out, Sample{At: e.Time, Seq: e.Seq, V: v})
@@ -263,9 +474,10 @@ func (t *Trace) Timeline(item data.ItemName) []Sample {
 
 // Writes returns the performed-write events (W and Ws) on item, in order.
 func (t *Trace) Writes(item data.ItemName) []*event.Event {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	tl := t.timelines[item.Key()]
+	sh := &t.shards[t.ShardOf(item.Base)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	tl := sh.timelines[item.Key()]
 	if len(tl) == 0 {
 		return nil
 	}
@@ -274,10 +486,8 @@ func (t *Trace) Writes(item data.ItemName) []*event.Event {
 
 // Matching returns events whose descriptor matches the template.
 func (t *Trace) Matching(tpl event.Template) []*event.Event {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var out []*event.Event
-	for _, e := range t.events {
+	for _, e := range t.Events() {
 		if _, ok := tpl.Match(e.Desc); ok {
 			out = append(out, e)
 		}
@@ -288,12 +498,21 @@ func (t *Trace) Matching(tpl event.Template) []*event.Event {
 // End returns the time of the last event, or the zero time for an empty
 // trace.
 func (t *Trace) End() time.Time {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if len(t.events) == 0 {
+	var last *event.Event
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		if n := len(sh.events); n > 0 {
+			if e := sh.events[n-1]; last == nil || e.Seq > last.Seq {
+				last = e
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if last == nil {
 		return time.Time{}
 	}
-	return t.events[len(t.events)-1].Time
+	return last.Time
 }
 
 // String renders the whole trace, one event per line, for debugging.
