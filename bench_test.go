@@ -215,6 +215,34 @@ func BenchmarkE16CoreScaling(b *testing.B) {
 	}
 }
 
+func BenchmarkE17FleetScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := harness.E17(500)
+		if len(tbl.Rows) != 6 {
+			b.Fatalf("E17 rows = %d", len(tbl.Rows))
+		}
+		// Sharding may never trade away correctness: every arm — the
+		// 1-shell baseline, every static fleet width, and the arm that
+		// rebalances mid-run — must record an Appendix A.2-valid trace.
+		for _, row := range tbl.Rows {
+			if row[len(row)-1] != "0 violations" {
+				b.Fatalf("E17 arm recorded an invalid trace: %v", row)
+			}
+		}
+		// The rebalance arm must actually have moved ownership, or the
+		// sweep silently stopped exercising handoff.
+		movedSomething := false
+		for _, row := range tbl.Rows {
+			if cellOf(b, tbl, row, "moved") != "0" {
+				movedSomething = true
+			}
+		}
+		if !movedSomething {
+			b.Fatal("E17: no arm moved any bases; the live-rebalance arm is not exercising handoff")
+		}
+	}
+}
+
 func BenchmarkE11ClockSkew(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tbl := harness.E11(3)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cmbench [-scale N] [-exp E1,E2,...] [-obs] [-json FILE]
+//	cmbench [-scale N] [-exp E1,E2,...] [-obs] [-json FILE] [-fleetjson FILE]
 //
 // -obs snapshots the process-wide metrics registry around each
 // experiment and prints the per-experiment deltas (every counter and
@@ -17,6 +17,15 @@
 // "e16" (core scaling: events/sec per GOMAXPROCS × bases arm on the
 // partitioned engine).  Successive runs can be diffed; the committed
 // BENCH_E14.json at the repo root is generated this way.
+//
+// -fleetjson writes the E17 horizontal-saturation rows (fleet throughput
+// per shell count × constraint count arm, plus the live-rebalance arm)
+// under an "e17" key in FILE.
+//
+// Both -json and -fleetjson merge key-wise into an existing FILE: each
+// rewrites only its own keys and preserves the others, so the e14/e16
+// and e17 sweeps compose into one BENCH_E14.json no matter which ran
+// last.
 //
 // -loadjson does the same for the E15 chaos-soak rows (rate × fault
 // campaign: sustained events/sec, latency quantiles, deadline misses,
@@ -36,9 +45,10 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "workload scale factor")
-	exps := flag.String("exp", "all", "comma-separated experiment ids (E1..E16, F1, F2) or 'all'")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (E1..E17, F1, F2) or 'all'")
 	obsMode := flag.Bool("obs", false, "print per-experiment metric deltas from the obs registry")
-	jsonOut := flag.String("json", "", "write E14 saturation rows to this file as JSON and exit")
+	jsonOut := flag.String("json", "", "write E14+E16 engine rows to this file as JSON (merged key-wise) and exit")
+	fleetOut := flag.String("fleetjson", "", "write E17 fleet-scaling rows to this file as JSON (merged key-wise) and exit")
 	loadOut := flag.String("loadjson", "", "write E15 chaos-soak rows to this file as JSON and exit")
 	flag.Parse()
 
@@ -55,14 +65,35 @@ func main() {
 		}
 		fmt.Printf("wrote %d %s rows to %s\n", n, what, path)
 	}
+	// mergeRows rewrites only the given keys of the JSON object at path,
+	// preserving every other key an earlier sweep wrote there.
+	mergeRows := func(path, what string, keys map[string]any, n int) {
+		merged := map[string]json.RawMessage{}
+		if prev, err := os.ReadFile(path); err == nil {
+			if err := json.Unmarshal(prev, &merged); err != nil {
+				fmt.Fprintf(os.Stderr, "cmbench: %s exists but is not a JSON object (%v); refusing to merge\n", path, err)
+				os.Exit(1)
+			}
+		}
+		for k, v := range keys {
+			buf, err := json.Marshal(v)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cmbench: %v\n", err)
+				os.Exit(1)
+			}
+			merged[k] = buf
+		}
+		writeRows(path, what, merged, n)
+	}
 	if *jsonOut != "" {
 		e14 := harness.E14Rows(1000 * *scale)
 		e16 := harness.E16Rows(2000 * *scale)
-		combined := struct {
-			E14 []harness.E14Row `json:"e14"`
-			E16 []harness.E16Row `json:"e16"`
-		}{e14, e16}
-		writeRows(*jsonOut, "E14+E16", combined, len(e14)+len(e16))
+		mergeRows(*jsonOut, "E14+E16", map[string]any{"e14": e14, "e16": e16}, len(e14)+len(e16))
+		return
+	}
+	if *fleetOut != "" {
+		e17 := harness.E17Rows(2000 * *scale)
+		mergeRows(*fleetOut, "E17", map[string]any{"e17": e17}, len(e17))
 		return
 	}
 	if *loadOut != "" {
@@ -88,10 +119,11 @@ func main() {
 		"E14": func() harness.Table { return harness.E14(1000 * *scale) },
 		"E15": func() harness.Table { return harness.E15(60 * *scale) },
 		"E16": func() harness.Table { return harness.E16(2000 * *scale) },
+		"E17": func() harness.Table { return harness.E17(2000 * *scale) },
 		"F1":  func() harness.Table { return harness.F1(100 * *scale) },
 		"F2":  func() harness.Table { return harness.F2(30 * *scale) },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "F1", "F2"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "F1", "F2"}
 
 	var selected []string
 	if *exps == "all" {
@@ -100,7 +132,7 @@ func main() {
 		for _, id := range strings.Split(*exps, ",") {
 			id = strings.TrimSpace(strings.ToUpper(id))
 			if _, ok := runners[id]; !ok {
-				fmt.Fprintf(os.Stderr, "cmbench: unknown experiment %q (want E1..E16, F1, F2)\n", id)
+				fmt.Fprintf(os.Stderr, "cmbench: unknown experiment %q (want E1..E17, F1, F2)\n", id)
 				os.Exit(2)
 			}
 			selected = append(selected, id)

@@ -11,23 +11,39 @@
 //	cmctl check -rid b.rid
 //	cmctl suggest -x salary1 -xrid a.rid -y salary2 -yrid b.rid [-arity 1]
 //	cmctl state -state-dir /var/lib/cmshell-a
+//	cmctl ring -route table.json [-plan a,b,c,d]
+//	cmctl ring -spec strategy.spec -members a,b,c [-write table.json]
+//	cmctl ring -state-dir /var/lib/cmshell-a
 //
 // The state subcommand reads a cmshell durable state directory without
 // modifying it (safe while the shell is running): per-journal segment
 // counts, WAL sizes, checkpoint ages, and any damage recovery would
 // truncate at, plus the decoded reliability journal — per-peer outbox
 // depth (the messages a restart would replay) and receive cursors.
+//
+// The ring subcommand shows a fleet route table (DESIGN.md §10): epoch,
+// membership, per-shell base counts against the bounded-load cap, the
+// placement checksum, and the base→owner map.  The table comes from a
+// route file (-route), from computing a fresh epoch-1 assignment for a
+// spec and membership (-spec -members, the same pure function every
+// fleet member evaluates), or from the fleet-table log of a durable
+// state directory (-state-dir, read-only).  -plan diffs the loaded
+// table against a proposed membership and prints the moves a rebalance
+// to it would make; -write dumps the table as a route file for cmshell.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"sort"
 	"strings"
 
 	"cmtk/internal/durable"
+	"cmtk/internal/fleet"
 	"cmtk/internal/guarantee"
 	"cmtk/internal/rid"
 	"cmtk/internal/rule"
@@ -47,6 +63,8 @@ func main() {
 		suggest(os.Args[2:])
 	case "state":
 		state(os.Args[2:])
+	case "ring":
+		ringCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -56,6 +74,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: cmctl check [-spec FILE] [-rid FILE]")
 	fmt.Fprintln(os.Stderr, "       cmctl suggest -x BASE -xrid FILE -y BASE -yrid FILE [-arity N]")
 	fmt.Fprintln(os.Stderr, "       cmctl state -state-dir DIR")
+	fmt.Fprintln(os.Stderr, "       cmctl ring {-route FILE | -spec FILE -members A,B,C | -state-dir DIR} [-rid FILE] [-plan A,B,C,D] [-write FILE]")
 	os.Exit(2)
 }
 
@@ -162,6 +181,141 @@ func state(args []string) {
 			fmt.Printf("  <- %s: dedup cursor at seq %d (sender epoch %d)\n",
 				peer, in.Next, in.Epoch)
 		}
+	}
+}
+
+// ringCmd implements `cmctl ring`: load (or compute) a fleet route
+// table, print its layout, and optionally plan a rebalance or dump a
+// route file.
+func ringCmd(args []string) {
+	fs := flag.NewFlagSet("ring", flag.ExitOnError)
+	routePath := fs.String("route", "", "route-table JSON file to inspect")
+	specPath := fs.String("spec", "", "strategy specification to assign (with -members)")
+	members := fs.String("members", "", "comma-separated shell ids for a fresh epoch-1 assignment")
+	stateDir := fs.String("state-dir", "", "durable state directory holding a persisted fleet-table log")
+	plan := fs.String("plan", "", "comma-separated proposed membership: print the moves a rebalance would make")
+	writePath := fs.String("write", "", "dump the table to this route file")
+	ridPath := fs.String("rid", "", "CM-RID file: show which shell each of its notify-capable bases routes to")
+	fs.Parse(args)
+
+	splitIDs := func(s string) []string {
+		var out []string
+		for _, id := range strings.Split(s, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+
+	// A spec supplies the rule-graph affinity map: mandatory when it is
+	// the table source, and honored by -plan so a planned rebalance
+	// keeps affinity groups together exactly as the fleet would.
+	var affinity map[string]string
+	var specBases []string
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec, err := rule.ParseSpec(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("cmctl: %s: %v", *specPath, err)
+		}
+		affinity = fleet.Affinity(spec)
+		specBases = fleet.SpecBases(spec)
+	}
+
+	var tab fleet.Table
+	var source string
+	switch {
+	case *routePath != "":
+		var err error
+		if tab, err = fleet.ReadFile(*routePath); err != nil {
+			log.Fatalf("cmctl: %v", err)
+		}
+		source = *routePath
+	case *specPath != "":
+		ids := splitIDs(*members)
+		if len(ids) == 0 {
+			log.Fatal("cmctl: ring -spec needs -members")
+		}
+		var err error
+		tab, err = fleet.Assign(1, ids, specBases, fleet.Params{Affinity: affinity})
+		if err != nil {
+			log.Fatalf("cmctl: %v", err)
+		}
+		source = fmt.Sprintf("%s (fresh assignment)", *specPath)
+	case *stateDir != "":
+		rec, err := durable.ReadLog(*stateDir, fleet.TableLogName)
+		if err != nil {
+			log.Fatalf("cmctl: %v", err)
+		}
+		if len(rec.Snapshot) == 0 {
+			log.Fatalf("cmctl: %s: no %s checkpoint (not a fleet member's state dir?)", *stateDir, fleet.TableLogName)
+		}
+		if err := json.Unmarshal(rec.Snapshot, &tab); err != nil {
+			log.Fatalf("cmctl: %s: decoding %s: %v", *stateDir, fleet.TableLogName, err)
+		}
+		source = fmt.Sprintf("%s (%s log)", *stateDir, fleet.TableLogName)
+	default:
+		usage()
+	}
+
+	bases := tab.Bases()
+	counts := tab.Counts()
+	bound := "n/a"
+	if len(tab.Members) > 0 && tab.LoadFactor > 0 {
+		bound = fmt.Sprint(int(math.Ceil(float64(len(bases)) / float64(len(tab.Members)) * tab.LoadFactor)))
+	}
+	fmt.Printf("route table from %s\n", source)
+	fmt.Printf("  epoch %d, %d member(s), %d base(s), %d vnode(s)/member, load cap %s, checksum %016x\n",
+		tab.Epoch, len(tab.Members), len(bases), tab.VNodes, bound, tab.Checksum())
+	for _, m := range tab.Members {
+		fmt.Printf("  shell %-12s owns %d base(s)\n", m, counts[m])
+	}
+	for _, b := range bases {
+		fmt.Printf("    %s -> %s\n", b, tab.Owners[b])
+	}
+
+	if *ridPath != "" {
+		cfg, err := rid.ParseFile(*ridPath)
+		if err != nil {
+			log.Fatalf("cmctl: %s: %v", *ridPath, err)
+		}
+		// The translator's view of the table: the bases this source can
+		// push notifications for, and the shell each callback is routed
+		// (or forwarded) to under the current epoch.
+		fmt.Printf("\ntranslator %s (site %s) notify routing:\n", *ridPath, cfg.Site)
+		for _, base := range translator.NotifyBases(cfg.Statements) {
+			owner, ok := tab.Owner(base)
+			if !ok {
+				owner = "(not in table: static site routing)"
+			}
+			fmt.Printf("  N(%s) -> %s\n", base, owner)
+		}
+	}
+
+	if *plan != "" {
+		ids := splitIDs(*plan)
+		next, err := fleet.Assign(tab.Epoch+1, ids, bases,
+			fleet.Params{VNodes: tab.VNodes, LoadFactor: tab.LoadFactor, Affinity: affinity})
+		if err != nil {
+			log.Fatalf("cmctl: %v", err)
+		}
+		moves := fleet.Moves(tab, next)
+		fmt.Printf("\nrebalance plan to [%s] (epoch %d): %d of %d base(s) move\n",
+			strings.Join(ids, " "), next.Epoch, len(moves), len(bases))
+		for _, mv := range moves {
+			fmt.Printf("  %s: %s -> %s\n", mv.Base, mv.From, mv.To)
+		}
+	}
+	if *writePath != "" {
+		if err := tab.WriteFile(*writePath); err != nil {
+			log.Fatalf("cmctl: %v", err)
+		}
+		fmt.Printf("wrote route table to %s\n", *writePath)
 	}
 }
 

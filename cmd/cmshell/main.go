@@ -33,6 +33,16 @@
 // and transport metrics), and /debug/traces dumps the rule-firing trace
 // ring as JSON.  See OBSERVABILITY.md for the full catalogue.
 //
+// -route-table joins a sharded fleet (DESIGN.md §10): the shell loads
+// the fleet route table from the given JSON file (written by `cmctl
+// ring -write` or a fleet controller) and resolves constraint ownership
+// through it instead of the static site map — it executes the rules
+// anchored on bases the table assigns to its -id, forwards external
+// triggers for other shells' bases to their owners, and re-forwards
+// in-flight fires that arrive under a stale epoch.  Every member of a
+// fleet must be started with the same table and list every other member
+// in -peer.
+//
 // -state-dir makes the shell crash-recoverable: the reliable transport's
 // outbox and dedup cursors and the shell's CM-private items journal into
 // write-ahead logs there, so a killed process comes back up, replays its
@@ -56,6 +66,7 @@ import (
 
 	"cmtk/internal/cmi"
 	"cmtk/internal/durable"
+	"cmtk/internal/fleet"
 	"cmtk/internal/obs"
 	"cmtk/internal/rid"
 	"cmtk/internal/rule"
@@ -79,6 +90,7 @@ func main() {
 	stateDir := flag.String("state-dir", "", "durable state directory: journal outbox and private items for crash recovery (empty: in-memory only)")
 	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always|interval|never")
 	workers := flag.Int("workers", 1, "engine worker count: 1 = serial, N > 1 = partitioned parallel engine, <= 0 = auto (GOMAXPROCS)")
+	routeTable := flag.String("route-table", "", "fleet route-table JSON file: shard constraint ownership across the mesh (empty: static site routing)")
 	retry := flag.Duration("retry", 200*time.Millisecond, "reliable-link base retransmit interval")
 	dialTimeout := flag.Duration("dial-timeout", 5*time.Second, "mesh peer dial timeout")
 	reqTimeout := flag.Duration("req-timeout", 10*time.Second, "mesh request timeout")
@@ -131,7 +143,39 @@ func main() {
 	if *workers <= 0 {
 		*workers = shell.WorkersAuto
 	}
-	sh := shell.New(*id, spec, shell.Options{Workers: *workers})
+	shellOpts := shell.Options{Workers: *workers}
+	var router *fleet.Router
+	if *routeTable != "" {
+		tab, err := fleet.ReadFile(*routeTable)
+		if err != nil {
+			log.Fatalf("cmshell: %v", err)
+		}
+		found := false
+		for _, m := range tab.Members {
+			if m == *id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			log.Fatalf("cmshell: route table %s (epoch %d) does not list member %q", *routeTable, tab.Epoch, *id)
+		}
+		router = fleet.NewRouter(*id, obs.Default)
+		router.Install(tab)
+		shellOpts.Router = router
+		fmt.Printf("cmshell: fleet member %s of %d, route table epoch %d, owning %d base(s)\n",
+			*id, len(tab.Members), tab.Epoch, tab.Counts()[*id])
+	}
+	sh := shell.New(*id, spec, shellOpts)
+	if router != nil {
+		// Fleet members address each other through the ownership table, so
+		// every mesh peer is a propagation peer even when it hosts no site.
+		for _, p := range peers {
+			if name, _, ok := strings.Cut(p, "="); ok && name != *id {
+				sh.AddPeer(name)
+			}
+		}
+	}
 	if w := sh.Workers(); w > 1 {
 		fmt.Printf("cmshell: partitioned engine, %d workers\n", w)
 	}

@@ -252,6 +252,77 @@ func scrapeCounterLine(t *testing.T, obsURL, prefix string) int64 {
 	return -1
 }
 
+// TestFleetRingCLI drives the fleet tooling as real processes: cmctl
+// computes a route table for a spec and membership, writes the route
+// file, plans a grow rebalance from it, and a cmshell started with
+// -route-table joins as a fleet member.  Placement determinism across
+// processes is asserted through the printed checksum: two separate
+// cmctl invocations with the same inputs must compute the same table.
+func TestFleetRingCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin, "./cmd/cmctl", "./cmd/cmshell")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building binaries: %v", err)
+	}
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "fleet.spec")
+	var spec strings.Builder
+	spec.WriteString("site S\n")
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&spec, "private X%d @ S\nprivate Y%d @ S\n", i, i)
+		fmt.Fprintf(&spec, "rule r%d: Ws(X%d, b) ->5s W(Y%d, b)\n", i, i, i)
+	}
+	writeFile(t, specPath, spec.String())
+	tablePath := filepath.Join(dir, "table.json")
+
+	ringOut := func(args ...string) string {
+		out, err := exec.Command(filepath.Join(bin, "cmctl"), append([]string{"ring"}, args...)...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("cmctl ring %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+	checksumOf := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if i := strings.Index(line, "checksum "); i >= 0 {
+				return strings.TrimSpace(line[i+len("checksum "):])
+			}
+		}
+		t.Fatalf("no checksum line in:\n%s", out)
+		return ""
+	}
+
+	out1 := ringOut("-spec", specPath, "-members", "s1,s2,s3", "-write", tablePath)
+	if !strings.Contains(out1, "epoch 1, 3 member(s), 24 base(s)") {
+		t.Fatalf("unexpected ring summary:\n%s", out1)
+	}
+	out2 := ringOut("-spec", specPath, "-members", "s1,s2,s3")
+	if c1, c2 := checksumOf(out1), checksumOf(out2); c1 != c2 {
+		t.Fatalf("two processes computed different placements: %s vs %s", c1, c2)
+	}
+	planOut := ringOut("-route", tablePath, "-spec", specPath, "-plan", "s1,s2,s3,s4")
+	if !strings.Contains(planOut, "rebalance plan to [s1 s2 s3 s4] (epoch 2)") {
+		t.Fatalf("no rebalance plan in:\n%s", planOut)
+	}
+	if !strings.Contains(planOut, "-> s4") {
+		t.Fatalf("grow plan moved nothing to the new member:\n%s", planOut)
+	}
+
+	sc, stop := startProc(t, filepath.Join(bin, "cmshell"),
+		"-id", "s1", "-spec", specPath, "-route-table", tablePath,
+		"-listen", "127.0.0.1:0")
+	defer stop()
+	line := expectLine(t, sc, "fleet member s1 of 3")
+	if !strings.Contains(line, "route table epoch 1") {
+		t.Fatalf("unexpected fleet banner: %s", line)
+	}
+	expectLine(t, sc, "running")
+}
+
 // TestCrashRecoveryAcrossProcesses kills a cmshell with SIGKILL while its
 // peer is unreachable and its outbox is full of undelivered fires, then
 // restarts it over the same -state-dir.  The write-ahead log must bring

@@ -13,6 +13,7 @@ import (
 
 	"cmtk/internal/data"
 	"cmtk/internal/durable"
+	"cmtk/internal/fleet"
 	"cmtk/internal/harness"
 	"cmtk/internal/obs"
 	"cmtk/internal/ris/relstore"
@@ -53,8 +54,9 @@ func TestDocsReferenceExistingFiles(t *testing.T) {
 }
 
 // flagDefRe extracts flag names registered in a main.go:
-// flag.String("name", ...), flag.Bool(...), flag.Var(&x, "name", ...).
-var flagDefRe = regexp.MustCompile(`flag\.\w+\((?:&\w+, )?"([\w-]+)"`)
+// flag.String("name", ...), flag.Bool(...), flag.Var(&x, "name", ...),
+// and the same registrations on a subcommand's `fs` flag set.
+var flagDefRe = regexp.MustCompile(`(?:flag|fs)\.\w+\((?:&\w+, )?"([\w-]+)"`)
 
 // cmdRe matches a backticked invocation of one of our binaries.
 var cmdRe = regexp.MustCompile("`((?:cmshell|risd|cmbench|cmctl|cmload)\\s+[^`\n]*)`")
@@ -134,6 +136,32 @@ func TestObservabilityCataloguesEveryMetric(t *testing.T) {
 	psh.Spontaneous(data.Item("PA"), data.NewInt(0), data.NewInt(1))
 	psh.Drain()
 	psh.Stop()
+	// The fleet layer's cmtk_fleet_* families only move on a sharded
+	// deployment; run a tiny fleet through one post and one rebalance so
+	// the router gauges, forward counters, and rebalance counters all
+	// register in the default registry.
+	fsp, err := rule.ParseSpecString("site F\nprivate FA @ F\nprivate FB @ F\nrule fr: Ws(FA, b) ->5s W(FB, b)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := fleet.New(fsp, fleet.Options{Members: []string{"doc1", "doc2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Post(data.Item("FA"), data.NewInt(0), data.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	fl.Drain()
+	if err := fl.AddShell("doc3", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Rebalance([]string{"doc1", "doc2", "doc3"}); err != nil {
+		t.Fatal(err)
+	}
+	fl.Stop()
 
 	srv, err := server.ServeRel("127.0.0.1:0", relstore.New("doc"))
 	if err != nil {
@@ -170,7 +198,8 @@ func TestObservabilityCataloguesEveryMetric(t *testing.T) {
 	// collapse here means the test lost its coverage, not that docs are
 	// fine.
 	for _, want := range []string{"cmtk_shell_", "cmtk_translator_", "cmtk_transport_", "cmtk_ris_", "cmtk_wal_",
-		"cmtk_shell_workers", "cmtk_shell_partition_depth"} {
+		"cmtk_shell_workers", "cmtk_shell_partition_depth",
+		"cmtk_fleet_epoch", "cmtk_fleet_owned_bases", "cmtk_fleet_rebalances_total"} {
 		if !strings.Contains(b.String(), "# TYPE "+want) &&
 			!strings.Contains(b.String(), want) {
 			t.Errorf("scrape covers no %s* metrics; catalogue test lost coverage", want)

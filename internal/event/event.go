@@ -166,9 +166,16 @@ func (d Desc) Equal(e Desc) bool {
 // that never joined such a trace (stub triggers, hand-built tests) carry
 // eager interpretations set with SetStates.
 type Event struct {
-	Time    time.Time
-	Seq     uint64
-	Site    string
+	Time time.Time
+	Seq  uint64
+	Site string
+	// Host is the shell that recorded the event.  In static deployments a
+	// site lives on exactly one shell, so Host adds no information; in a
+	// sharded fleet one site spans many shells and Host identifies which
+	// shard executed — the checker's in-order property (Appendix A.2
+	// property 7) holds per (site, host) link, the granularity at which
+	// the mesh actually guarantees FIFO delivery.
+	Host    string
 	Desc    Desc
 	Rule    string // ID of the rule whose firing generated this event; "" if spontaneous
 	Trigger *Event // event that caused Rule to fire; nil if spontaneous

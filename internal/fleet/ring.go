@@ -1,0 +1,120 @@
+// Package fleet shards a constraint deployment across N CM-Shells: a
+// consistent-hash ring with virtual nodes and bounded loads maps item
+// bases to owner shells, a versioned route table distributes that
+// mapping to every shell (and to ingress translators), and rebalancing
+// moves ownership — including the moving bases' CM-private state through
+// the durable subsystem — at an atomic epoch boundary.
+//
+// The paper's deployments (Fig. 1) statically assign each rule to the
+// shell hosting its LHS site; that makes shell count a configuration
+// detail, not a scaling axis.  The fleet layer replaces the static
+// assignment with ring ownership of item bases: the shell that owns a
+// rule's anchor base owns the rule, external triggers are routed (or
+// forwarded) to the current owner, and cross-shard rule fires travel the
+// existing reliable mesh.  DESIGN.md §10 documents the model and its
+// failure modes.
+package fleet
+
+import "sort"
+
+// Placement hashing is FNV-1a 64 with the standard offset basis and
+// prime, written out so the function is frozen: ownership must be
+// identical across processes and builds (a translator computing an owner
+// in one process must agree with the shell computing it in another), so
+// no seeded or per-process hash (maphash) can be used here.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hash64 is the stable placement hash: FNV-1a over the bytes, then a
+// fixed avalanche finalizer.  Raw FNV-1a disperses short sequential keys
+// ("a#1", "a#2", …) poorly across the high bits, which skews vnode
+// placement badly for small fleets; the finalizer (the murmur3 fmix64
+// constants, equally frozen) fixes that without giving up cross-process
+// determinism.
+func hash64(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return fmix64(h)
+}
+
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// ringPoint is one virtual node: the hash of "member#vnode" and the
+// member it stands for.
+type ringPoint struct {
+	h      uint64
+	member string
+}
+
+// ring is the sorted virtual-node circle for one membership set.
+type ring struct {
+	points []ringPoint
+}
+
+// buildRing hashes vnodes points per member onto the circle.  Ties (two
+// identical hashes) break by member name so the ring is a pure function
+// of the membership set.
+func buildRing(members []string, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(members)*vnodes)}
+	var key []byte
+	for _, m := range members {
+		for v := 0; v < vnodes; v++ {
+			key = key[:0]
+			key = append(key, m...)
+			key = append(key, '#')
+			key = appendUint(key, uint64(v))
+			h := uint64(fnvOffset64)
+			for _, b := range key {
+				h = (h ^ uint64(b)) * fnvPrime64
+			}
+			r.points = append(r.points, ringPoint{h: fmix64(h), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+func appendUint(b []byte, v uint64) []byte {
+	if v >= 10 {
+		b = appendUint(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+// walk visits the ring's members in successor order starting at the
+// first virtual node at or after hash64(key), each distinct member once,
+// until fn returns true (accepted) or every member has been offered.
+func (r *ring) walk(key string, fn func(member string) bool) {
+	if len(r.points) == 0 {
+		return
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	seen := map[string]bool{}
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.member] {
+			continue
+		}
+		seen[p.member] = true
+		if fn(p.member) {
+			return
+		}
+	}
+}

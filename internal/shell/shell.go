@@ -67,6 +67,12 @@ type Options struct {
 	// the pool to GOMAXPROCS.  In parallel mode QueueLimit bounds each
 	// partition's queue separately.
 	Workers int
+	// Router makes the shell a fleet member: rule ownership, fire targets
+	// and external-trigger routing resolve through the installed route
+	// table (see shard.go and package fleet) instead of the static
+	// site→shell map, with bases outside the table falling back to static
+	// routing.  Nil keeps the classic Fig. 1 static assignment.
+	Router ShardRouter
 }
 
 // Admission is the policy applied to external work when the post queue
@@ -165,6 +171,11 @@ type Shell struct {
 	failures   []cmi.Failure
 	failureFns []func(cmi.Failure)
 	custom     map[string]func(transport.Message)
+
+	// fleet peers declared by AddPeer: members reachable for failure
+	// propagation that host no site in the static routing map
+	peerMu sync.RWMutex
+	peers  map[string]bool
 
 	// observability handles, resolved once at construction (atomic on the
 	// hot path; see package obs)
@@ -410,13 +421,7 @@ func (s *Shell) onLinkEvent(ev transport.LinkEvent) {
 		// Tell every peer the outage is repaired so they can clear the
 		// propagated copies (the recovery notification of Section 5).
 		if s.ep != nil {
-			peers := map[string]bool{}
-			for _, shellID := range s.routing {
-				if shellID != s.id {
-					peers[shellID] = true
-				}
-			}
-			for peer := range peers {
+			for peer := range s.peerSet() {
 				for _, site := range sites {
 					s.ep.Send(peer, transport.Message{Kind: "recovered", FailSite: site, FailOp: "link"})
 				}
@@ -505,7 +510,10 @@ func (s *Shell) Start() error {
 	if s.started {
 		return fmt.Errorf("shell %s: already started", s.id)
 	}
-	// Own the rules whose LHS site is hosted here.
+	// Own the rules whose LHS site is hosted here — or, when a fleet
+	// route table is installed, the rules whose anchor base the table
+	// assigns to this shell (bases outside the table keep the static
+	// Fig. 1 assignment).
 	needNotify := map[string]string{} // item base -> site, for N/Ws LHS rules
 	periods := map[time.Duration]string{}
 	for _, r := range s.spec.Rules {
@@ -513,7 +521,27 @@ func (s *Shell) Start() error {
 		if err != nil {
 			return err
 		}
-		if _, hosted := s.sites[site]; !hosted {
+		_, hosted := s.sites[site]
+		owns := hosted
+		routed := false
+		if s.opts.Router != nil {
+			if base, ok := ruleAnchor(&r); ok {
+				if owner, ok := s.opts.Router.OwnerOf(base); ok {
+					owns, routed = owner == s.id, true
+				}
+			}
+		}
+		if routed && !owns && hosted && s.sites[site] != nil {
+			// Sharded ownership moved the rule off the hosting shell, but
+			// the translator's callbacks still arrive here: keep the
+			// subscription and forward each trigger to the owner
+			// (onSourceChange routes by the table).
+			switch r.LHS.Op {
+			case event.OpN, event.OpWs:
+				needNotify[r.LHS.Item.Base] = site
+			}
+		}
+		if !owns {
 			continue
 		}
 		s.owned = append(s.owned, r)
@@ -721,10 +749,25 @@ func curGID() uint64 {
 // record appends an event to the trace — directly in serial mode, or
 // into the running unit's buffer in parallel mode, where the sequence
 // number and final timestamp are assigned at the unit's commit point.
+//
+// A sharded serial shell shares its trace with peer shells committing
+// concurrently; Append would draw the seq at commit while keeping the
+// construction-time stamp, so two shells can interleave in an order
+// that inverts time vs seq (an Appendix A.2 property-1 violation).
+// Those shells commit through AppendUnit instead: the stamp is drawn
+// under the trace's commit mutex, exactly as the parallel engine does,
+// so seq order, commit order, and stamp order agree fleet-wide.
 func (x *exec) record(e *event.Event) *event.Event {
 	x.s.m.events.Inc()
+	e.Host = x.s.id
 	if x.unit != nil {
 		x.unit.events = append(x.unit.events, e)
+		return e
+	}
+	if x.s.opts.Router != nil {
+		x.one[0] = e
+		x.s.tr.AppendUnit(x.one[:], x.s.clock.Now, nil)
+		x.one[0] = nil
 		return e
 	}
 	return x.s.tr.Append(e)
@@ -775,6 +818,22 @@ func (s *Shell) onSourceChange(site string, item data.ItemName, old, new data.Va
 		return
 	}
 	s.pendMu.Unlock()
+	if owner, ok := s.shardOwner(item.Base); ok && owner != s.id {
+		// Sharded rule ownership: this shell hosts the translator but the
+		// rules listening to the base live elsewhere.  Ship the trigger to
+		// the owner; it replays notifyLocal there.  The owner's implicit
+		// notify rule uses the default 1s bound (it has no translator to
+		// read the declared one from) — conservative, documented in
+		// DESIGN.md §10.
+		s.forwardTrigger("notify", site, item, old, new, owner)
+		return
+	}
+	s.notifyLocal(site, item, old, new)
+}
+
+// notifyLocal records the Ws/N pair for a spontaneous source change and
+// runs the rules it triggers.  The owner-side half of onSourceChange.
+func (s *Shell) notifyLocal(site string, item data.ItemName, old, new data.Value) {
 	s.execBase(item.Base, true, func(x *exec) {
 		now := s.clock.Now()
 		ws := x.record(&event.Event{Time: now, Site: site, Desc: event.Ws(item, old, new)})
@@ -792,6 +851,17 @@ func (s *Shell) onSourceChange(site string, item data.ItemName, old, new data.Va
 // Spontaneous injects a spontaneous write for items without a translator
 // (CM-private scenarios and tests).  It mirrors onSourceChange.
 func (s *Shell) Spontaneous(item data.ItemName, old, new data.Value) {
+	if owner, ok := s.shardOwner(item.Base); ok && owner != s.id {
+		// Not ours: route to the owner, which maintains the private copy
+		// and runs the triggered rules.
+		s.forwardTrigger("ws", "", item, old, new, owner)
+		return
+	}
+	s.spontaneousLocal(item, old, new)
+}
+
+// spontaneousLocal is the owner-side half of Spontaneous.
+func (s *Shell) spontaneousLocal(item data.ItemName, old, new data.Value) {
 	site, ok := s.spec.SiteOf(item.Base)
 	if !ok {
 		site = s.id
@@ -888,6 +958,13 @@ func (x *exec) dispatch(r *rule.Rule, b event.Bindings, trigger *event.Event) {
 		return
 	}
 	target, ok := s.routing[effSite]
+	if base, sited := effectBase(r); sited {
+		// Fleet mode: the RHS executes at the effect base's current owner,
+		// not at the static hosting shell.
+		if owner, shard := s.shardOwner(base); shard {
+			target, ok = owner, true
+		}
+	}
 	if !ok {
 		s.reportFailure(cmi.Failure{
 			Kind: cmi.FailLogical, Site: effSite, When: s.clock.Now(),
@@ -948,6 +1025,11 @@ func (s *Shell) sendFire(ps pendingSend) {
 		Trigger:      transport.EventRef{Site: trigger.Site, Seq: trigger.Seq, Time: trigger.Time},
 		TriggerEvent: trigger,
 	}
+	if s.opts.Router != nil {
+		// Stamp the route-table epoch so a receiver that rebalanced since
+		// can tell in-flight pre-cutover traffic from misrouting.
+		msg.Epoch = s.opts.Router.Epoch()
+	}
 	s.m.remoteFires.Inc()
 	if err := s.ep.Send(ps.target, msg); err != nil {
 		// A raw endpoint rejected the send and the firing is gone for good;
@@ -986,6 +1068,15 @@ func (s *Shell) receive(m transport.Message) {
 				Op: "receive", Err: fmt.Errorf("unknown rule %q from %s", m.Rule, m.From),
 			}, false)
 			return
+		}
+		s.noteStaleEpoch(&m)
+		if base, sited := effectBase(r); sited {
+			// A fire for a base this shell no longer owns — the sender held
+			// a pre-rebalance table.  Re-route to the current owner.
+			if owner, shard := s.shardOwner(base); shard && owner != s.id {
+				s.forwardShard(m, owner, "fire")
+				return
+			}
 		}
 		// In-process fast path: the sender's dispatch handed over a private
 		// bindings map as values, so take ownership directly (Bindings wins
@@ -1036,6 +1127,9 @@ func (s *Shell) receive(m transport.Message) {
 		// A peer's degraded link drained its outbox: the propagated metric
 		// link failures for that site are moot.
 		s.clearLinkFailures(m.FailSite)
+	case "fleet-trigger":
+		// An external trigger forwarded from a non-owner fleet member.
+		s.receiveTrigger(m)
 	default:
 		// Kept out of receive itself: capturing m in a closure here would
 		// make the parameter escape on every call, heap-copying the Message
@@ -1060,6 +1154,15 @@ func (s *Shell) receiveCustom(m transport.Message) {
 // an application — and the performed W chains from it through the write
 // interface rule.  It runs asynchronously on the shell's queue.
 func (s *Shell) RequestWrite(item data.ItemName, v data.Value) {
+	if owner, ok := s.shardOwner(item.Base); ok && owner != s.id {
+		s.forwardTrigger("wr", "", item, data.NullValue, v, owner)
+		return
+	}
+	s.requestWriteLocal(item, v)
+}
+
+// requestWriteLocal is the owner-side half of RequestWrite.
+func (s *Shell) requestWriteLocal(item data.ItemName, v data.Value) {
 	site, ok := s.spec.SiteOf(item.Base)
 	if !ok {
 		site = s.id
@@ -1512,13 +1615,7 @@ func (s *Shell) reportFailure(f cmi.Failure, propagate bool) {
 	if !propagate || s.ep == nil {
 		return
 	}
-	peers := map[string]bool{}
-	for _, shellID := range s.routing {
-		if shellID != s.id {
-			peers[shellID] = true
-		}
-	}
-	for peer := range peers {
+	for peer := range s.peerSet() {
 		s.ep.Send(peer, transport.Message{
 			Kind:     "failure",
 			FailSite: f.Site,

@@ -11,6 +11,7 @@ package translator
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -222,6 +223,34 @@ func CapsFromStatements(stmts []rule.Rule, base string) ris.Capability {
 		}
 	}
 	return caps
+}
+
+// NotifyBases lists, in sorted order, the item bases a set of interface
+// statements can push spontaneous-change notifications for (Ws → N or
+// P → N statements).  A fleet ingress subscribes to exactly these bases
+// and routes each callback to the base's current owner shell.
+func NotifyBases(stmts []rule.Rule) []string {
+	set := map[string]bool{}
+	for _, st := range stmts {
+		if len(st.Steps) != 1 {
+			continue
+		}
+		eff := st.Steps[0].Eff
+		if eff.Op != event.OpN {
+			continue
+		}
+		if st.LHS.Op == event.OpWs && st.LHS.Op.HasItem() {
+			set[st.LHS.Item.Base] = true
+		} else if st.LHS.Op == event.OpP && eff.Op.HasItem() {
+			set[eff.Item.Base] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func mentionsBase(r rule.Rule, base string) bool {

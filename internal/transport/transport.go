@@ -15,6 +15,12 @@ type Message struct {
 	From string // sending shell ID
 	To   string // receiving shell ID
 
+	// Epoch is the sender's fleet route-table epoch at send time (0 in
+	// static deployments).  A receiver holding a newer table treats the
+	// message as the in-flight tail of a rebalance: still valid, but
+	// forwarded to the current owner if ownership moved (package fleet).
+	Epoch uint64 `json:",omitempty"`
+
 	// fire: execute the RHS of Rule under Bindings; Trigger identifies the
 	// LHS event.
 	Rule     string
