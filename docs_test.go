@@ -11,6 +11,8 @@ import (
 	"strings"
 	"testing"
 
+	"cmtk/internal/analysis"
+	"cmtk/internal/analysis/metricname"
 	"cmtk/internal/data"
 	"cmtk/internal/durable"
 	"cmtk/internal/fleet"
@@ -183,6 +185,10 @@ func TestObservabilityCataloguesEveryMetric(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Catalogue membership and naming delegate to the metricname
+	// analyzer's shared extraction logic, so the live-scrape check and
+	// the static cmlint check cannot drift apart.
+	catalogued := metricname.Catalogue(doc)
 	families := 0
 	for _, line := range strings.Split(b.String(), "\n") {
 		if !strings.HasPrefix(line, "# TYPE ") {
@@ -190,8 +196,11 @@ func TestObservabilityCataloguesEveryMetric(t *testing.T) {
 		}
 		families++
 		name := strings.Fields(line)[2]
-		if !strings.Contains(string(doc), "`"+name+"`") {
+		if !catalogued[name] {
 			t.Errorf("metric %s is exposed but not catalogued in OBSERVABILITY.md", name)
+		}
+		if !metricname.NameRe.MatchString(name) {
+			t.Errorf("metric %s violates the naming convention %s", name, metricname.NameRe)
 		}
 	}
 	// The harness + server must have registered all four layers; a
@@ -207,5 +216,38 @@ func TestObservabilityCataloguesEveryMetric(t *testing.T) {
 	}
 	if families < 10 {
 		t.Errorf("only %d families scraped; expected the full instrumented surface", families)
+	}
+}
+
+// TestCatalogueCoversStaticRegistrations is the static mirror of the
+// scrape test above: it extracts every metric registration literal in
+// the tree with the metricname analyzer's own logic and asserts each is
+// catalogued.  Code paths the scrape test never triggers (error
+// counters, rare fault branches) are still held to the catalogue here.
+func TestCatalogueCoversStaticRegistrations(t *testing.T) {
+	root, _, err := analysis.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.LoadTree(root, analysis.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := os.ReadFile("OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalogued := metricname.Catalogue(doc)
+	seen := 0
+	for _, p := range pkgs {
+		for _, m := range metricname.FromPackage(p) {
+			seen++
+			if !catalogued[m.Name] {
+				t.Errorf("%s: metric %s is registered but not catalogued in OBSERVABILITY.md", m.Pos, m.Name)
+			}
+		}
+	}
+	if seen < 20 {
+		t.Errorf("only %d registration sites extracted; the extractor lost coverage", seen)
 	}
 }

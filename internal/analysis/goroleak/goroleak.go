@@ -1,0 +1,158 @@
+// Package goroleak requires every goroutine started in a library
+// package to be visibly tied to a shutdown path.  The toolkit's
+// concurrency model (DESIGN.md §9) ends every component's life with
+// Drain/Close/Stop; a goroutine those paths cannot reach is a leak that
+// accumulates under the chaos soak and poisons goroutine-count
+// baselines in tests.
+//
+// A `go` statement passes when the launched body — a function literal,
+// or a same-package function or method resolved by name — contains a
+// recognizable shutdown tie:
+//
+//   - a WaitGroup Done (usually deferred), which a Close/Drain Waits on,
+//   - a receive, select or predicate on a done/closed/quit/stop signal
+//     (t.done channel, t.closed flag, ctx.Done()),
+//
+// or when the launching function registers the goroutine on a
+// WaitGroup (x.wg.Add before the go statement).  A goroutine whose body
+// cannot be resolved (a method from another package, like
+// http.Server.Serve) must carry //cmlint:allow goroleak(reason) naming
+// who stops it.  Package main is exempt: its goroutines share the
+// process's lifetime by construction.
+package goroleak
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+
+	"cmtk/internal/analysis"
+)
+
+// Analyzer is the goroleak checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "library goroutines must be tied to a shutdown path (WaitGroup, done/closed signal, or context)",
+	Run:  run,
+}
+
+// signalName matches identifiers that by convention carry a shutdown
+// signal.
+var signalName = regexp.MustCompile(`(?i)^(done|closed|closing|quit|stop|stopped|shutdown|ctx|cancel)$`)
+
+// wgName matches WaitGroup-ish identifiers for the Add-before-go
+// heuristic.
+var wgName = regexp.MustCompile(`(?i)(wg|waitgroup|ready)$`)
+
+func run(p *analysis.Pass) error {
+	if p.Pkg.Name == "main" {
+		return nil
+	}
+	// Index this package's function and method bodies by name for
+	// resolving `go x.f()`.
+	decls := map[string][]*ast.FuncDecl{}
+	for _, file := range p.Pkg.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls[fd.Name.Name] = append(decls[fd.Name.Name], fd)
+			}
+		}
+	}
+	for _, file := range p.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if checkGo(fd, g, decls) {
+					return true
+				}
+				p.Reportf(g.Pos(), "goroutine is not visibly tied to a shutdown path (no WaitGroup Done, done/closed signal, or context in its body); tie it to Close/Drain/Stop or annotate //cmlint:allow goroleak(who stops it)")
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkGo reports whether the go statement passes any heuristic.
+func checkGo(enclosing *ast.FuncDecl, g *ast.GoStmt, decls map[string][]*ast.FuncDecl) bool {
+	// Heuristic 1: the launching function puts the goroutine on a
+	// WaitGroup before starting it.
+	addBefore := false
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= g.Pos() {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" {
+			path := analysis.SelectorPath(sel.X)
+			if wgName.MatchString(lastComponent(path)) {
+				addBefore = true
+			}
+		}
+		return true
+	})
+	if addBefore {
+		return true
+	}
+	// Heuristic 2: the launched body contains a shutdown tie.
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return bodyTied(fun.Body)
+	case *ast.Ident:
+		return anyTied(decls[fun.Name])
+	case *ast.SelectorExpr:
+		if cands, ok := decls[fun.Sel.Name]; ok {
+			return anyTied(cands)
+		}
+	}
+	return false
+}
+
+func anyTied(cands []*ast.FuncDecl) bool {
+	for _, fd := range cands {
+		if bodyTied(fd.Body) {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyTied scans a launched body for a shutdown tie.
+func bodyTied(body *ast.BlockStmt) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				tied = true // wg.Done() or ctx.Done()
+			}
+		case *ast.SelectorExpr:
+			if signalName.MatchString(x.Sel.Name) {
+				tied = true // t.done, t.closed, s.quit ...
+			}
+		case *ast.Ident:
+			if signalName.MatchString(x.Name) {
+				tied = true
+			}
+		}
+		return !tied
+	})
+	return tied
+}
+
+func lastComponent(path string) string {
+	if i := strings.LastIndex(path, "."); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

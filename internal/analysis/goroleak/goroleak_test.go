@@ -1,0 +1,16 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"cmtk/internal/analysis/analysistest"
+	"cmtk/internal/analysis/goroleak"
+)
+
+func TestGoroleakFlagsSeededViolations(t *testing.T) {
+	analysistest.Run(t, ".", goroleak.Analyzer, "flagged")
+}
+
+func TestGoroleakAcceptsTiedAndSuppressed(t *testing.T) {
+	analysistest.Run(t, ".", goroleak.Analyzer, "clean")
+}

@@ -1,0 +1,69 @@
+// Package clean starts goroutines the sanctioned ways: WaitGroup
+// registration, done-channel ties, closed-flag checks, and one
+// justified suppression.  Nothing may be flagged.
+package clean
+
+import "sync"
+
+type worker struct {
+	wg     sync.WaitGroup
+	done   chan struct{}
+	mu     sync.Mutex
+	closed bool
+}
+
+// startTracked registers on the WaitGroup before launching; Close waits.
+func (w *worker) startTracked() {
+	w.wg.Add(1)
+	go w.loop()
+}
+
+func (w *worker) loop() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.done:
+			return
+		}
+	}
+}
+
+// startSignalled launches a literal that selects on the done channel.
+func (w *worker) startSignalled() {
+	go func() {
+		for {
+			select {
+			case <-w.done:
+				return
+			}
+		}
+	}()
+}
+
+// startFlagged launches a same-package method that polls the closed
+// flag under the mutex.
+func (w *worker) startFlagged() {
+	go w.drain()
+}
+
+func (w *worker) drain() {
+	for {
+		w.mu.Lock()
+		stop := w.closed
+		w.mu.Unlock()
+		if stop {
+			return
+		}
+	}
+}
+
+type opaque struct{}
+
+func (opaque) Run() {}
+
+// startSuppressed launches an uninspectable body with a justification.
+func startSuppressed() {
+	var o opaque
+	//cmlint:allow goroleak(fixture: the caller stops this via the returned handle's Close)
+	go o.Run()
+}

@@ -1,0 +1,37 @@
+// Package flagged seeds goroleak violations: goroutines with no
+// visible shutdown tie.
+package flagged
+
+type server struct {
+	q chan int
+}
+
+// pump loops forever with no done signal, waitgroup, or context.
+func (s *server) pump() {
+	for v := range s.q {
+		_ = v
+	}
+}
+
+func (s *server) start() {
+	go s.pump() // want `goroutine is not visibly tied to a shutdown path`
+}
+
+func fireAndForget(f func()) {
+	go func() { // want `goroutine is not visibly tied to a shutdown path`
+		for {
+			f()
+		}
+	}()
+}
+
+type external struct{}
+
+func (external) Serve() {}
+
+// unresolvable launches a method the analyzer cannot inspect; without
+// an annotation it must be flagged.
+func unresolvable() {
+	var e external
+	go e.Serve() // want `goroutine is not visibly tied to a shutdown path`
+}

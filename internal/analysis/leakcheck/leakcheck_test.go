@@ -1,0 +1,70 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHarnessGoroutinesAreBoring(t *testing.T) {
+	// The running test goroutine sits on testing.tRunner and must be
+	// ignored; a goroutine the test creates must be visible.
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-block
+	}()
+	var harness, mine int
+	for _, s := range snapshotStacks() {
+		if strings.Contains(s, "TestHarnessGoroutinesAreBoring.func") {
+			mine++
+		} else if strings.Contains(s, "TestHarnessGoroutinesAreBoring") {
+			harness++
+		}
+	}
+	close(block)
+	<-done
+	if harness != 0 || mine != 1 {
+		t.Fatalf("snapshot saw %d harness goroutines (want 0) and %d created goroutines (want 1)", harness, mine)
+	}
+}
+
+func TestWaitCatchesALeakedGoroutine(t *testing.T) {
+	baseline := snapshot()
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-block
+	}()
+	leaked := waitForBaseline(baseline, 50*time.Millisecond)
+	if len(leaked) != 1 || !strings.Contains(leaked[0], "TestWaitCatchesALeakedGoroutine") {
+		t.Fatalf("got %d leaked stacks (%v), want the blocked goroutine", len(leaked), leaked)
+	}
+	close(block)
+	<-done
+}
+
+func TestWaitAbsorbsSlowShutdown(t *testing.T) {
+	baseline := snapshot()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(80 * time.Millisecond) // exits inside the grace window
+	}()
+	if leaked := waitForBaseline(baseline, 2*time.Second); len(leaked) != 0 {
+		t.Fatalf("slow-but-terminating goroutine reported as leaked: %v", leaked)
+	}
+	<-done
+}
+
+func TestGoroutineID(t *testing.T) {
+	id, ok := goroutineID("goroutine 42 [running]:\nmain.main()")
+	if !ok || id != "42" {
+		t.Fatalf("goroutineID = %q, %v; want 42, true", id, ok)
+	}
+	if _, ok := goroutineID("not a header"); ok {
+		t.Fatal("goroutineID accepted garbage")
+	}
+}

@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"cmtk/internal/analysis/analysistest"
+	"cmtk/internal/analysis/lockorder"
+)
+
+func TestLockOrderFlagsSeededViolations(t *testing.T) {
+	analysistest.Run(t, ".", lockorder.Analyzer, "flagged")
+}
+
+func TestLockOrderAcceptsToolkitShapes(t *testing.T) {
+	analysistest.Run(t, ".", lockorder.Analyzer, "clean")
+}

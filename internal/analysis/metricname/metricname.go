@@ -1,0 +1,173 @@
+// Package metricname enforces the metric-catalogue contract with
+// operators (OBSERVABILITY.md): every metric family registered through
+// the obs registry must be named cmtk_<snake_case>, carry a small
+// bounded literal label set, and be catalogued in OBSERVABILITY.md.
+//
+// The extraction logic (FromPackage, Catalogue) is exported and shared
+// with the repo's docs_test, so the static checker and the
+// live-scrape catalogue test cannot drift apart: both sides agree on
+// what counts as a declared metric and what counts as catalogued.
+package metricname
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+
+	"cmtk/internal/analysis"
+)
+
+// Analyzer is the metricname checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "obs registry metrics must match cmtk_[a-z0-9_]+, use ≤4 literal snake_case labels, and be catalogued in OBSERVABILITY.md",
+	Run:  run,
+}
+
+// NameRe is the family naming convention: cmtk_ prefix, lower
+// snake_case.
+var NameRe = regexp.MustCompile(`^cmtk_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+// LabelRe is the label naming convention.
+var LabelRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// MaxLabels bounds a family's label set: more than this many dimensions
+// on a hand-rolled registry is a cardinality bug, not a design choice.
+const MaxLabels = 4
+
+// Metric is one statically-extracted registration site.
+type Metric struct {
+	Name   string
+	Kind   string // Counter, Gauge or Histogram
+	Labels []string
+	// LiteralLabels is false when a label argument was not a string
+	// literal, so Labels is incomplete.
+	LiteralLabels bool
+	Pos           token.Position
+}
+
+// FromPackage extracts every registry registration in the package:
+// calls to a Counter/Gauge/Histogram method whose first argument is a
+// string literal.  This is the single source of truth the analyzer and
+// docs_test both consume.
+func FromPackage(pkg *analysis.Package) []Metric {
+	var out []Metric
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind := sel.Sel.Name
+			if kind != "Counter" && kind != "Gauge" && kind != "Histogram" {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			name, ok := stringLit(call.Args[0])
+			if !ok {
+				return true
+			}
+			labelStart := 2
+			if kind == "Histogram" {
+				labelStart = 3 // (name, help, buckets, labels...)
+			}
+			m := Metric{Name: name, Kind: kind, LiteralLabels: true, Pos: pkg.Fset.Position(call.Pos())}
+			for i := labelStart; i < len(call.Args); i++ {
+				if lab, ok := stringLit(call.Args[i]); ok {
+					m.Labels = append(m.Labels, lab)
+				} else {
+					m.LiteralLabels = false
+				}
+			}
+			out = append(out, m)
+			return true
+		})
+	}
+	return out
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// catalogueRe pulls backticked cmtk_* family names out of the doc.
+var catalogueRe = regexp.MustCompile("`(cmtk_[a-z0-9_]+)`")
+
+// Catalogue parses OBSERVABILITY.md's backticked metric names into a
+// membership set.
+func Catalogue(doc []byte) map[string]bool {
+	names := map[string]bool{}
+	for _, m := range catalogueRe.FindAllSubmatch(doc, -1) {
+		names[string(m[1])] = true
+	}
+	return names
+}
+
+func run(p *analysis.Pass) error {
+	metrics := FromPackage(p.Pkg)
+	if len(metrics) == 0 {
+		return nil
+	}
+	catalogue, catErr := loadCatalogue(p.ModRoot)
+	for _, m := range metrics {
+		pos := posOf(p, m)
+		if !NameRe.MatchString(m.Name) {
+			p.Reportf(pos, "metric %q does not match the naming convention %s", m.Name, NameRe)
+			continue
+		}
+		if !m.LiteralLabels {
+			p.Reportf(pos, "metric %q has a non-literal label argument; label sets must be bounded string literals", m.Name)
+		}
+		if len(m.Labels) > MaxLabels {
+			p.Reportf(pos, "metric %q declares %d labels (max %d); unbounded label sets explode series cardinality", m.Name, len(m.Labels), MaxLabels)
+		}
+		for _, lab := range m.Labels {
+			if !LabelRe.MatchString(lab) {
+				p.Reportf(pos, "metric %q label %q does not match %s", m.Name, lab, LabelRe)
+			}
+		}
+		if catErr != nil {
+			p.Reportf(pos, "metric %q cannot be checked against the catalogue: %v", m.Name, catErr)
+		} else if !catalogue[m.Name] {
+			p.Reportf(pos, "metric %q is not catalogued in OBSERVABILITY.md; document it (see \"Adding a metric\")", m.Name)
+		}
+	}
+	return nil
+}
+
+func posOf(p *analysis.Pass, m Metric) token.Pos {
+	// Metric.Pos is already a resolved Position; re-anchor a Pos in the
+	// package fileset for Reportf by matching file and offset.
+	for _, f := range p.Pkg.Files {
+		tf := p.Pkg.Fset.File(f.Pos())
+		if tf != nil && tf.Name() == m.Pos.Filename {
+			return tf.Pos(m.Pos.Offset)
+		}
+	}
+	return token.NoPos
+}
+
+func loadCatalogue(modRoot string) (map[string]bool, error) {
+	doc, err := os.ReadFile(filepath.Join(modRoot, "OBSERVABILITY.md"))
+	if err != nil {
+		return nil, err
+	}
+	return Catalogue(doc), nil
+}

@@ -1,0 +1,32 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"cmtk/internal/analysis/analysistest"
+	"cmtk/internal/analysis/metricname"
+)
+
+func TestMetricnameFlagsSeededViolations(t *testing.T) {
+	analysistest.Run(t, ".", metricname.Analyzer, "flagged")
+}
+
+func TestMetricnameAcceptsCataloguedAndSuppressed(t *testing.T) {
+	analysistest.Run(t, ".", metricname.Analyzer, "clean")
+}
+
+func TestCatalogueParsesBacktickedFamilies(t *testing.T) {
+	doc := []byte("`cmtk_a_total` text `cmtk_b_seconds` and `not_ours` and `cmtk_c`")
+	got := metricname.Catalogue(doc)
+	for _, want := range []string{"cmtk_a_total", "cmtk_b_seconds", "cmtk_c"} {
+		if !got[want] {
+			t.Errorf("catalogue missing %s", want)
+		}
+	}
+	if got["not_ours"] {
+		t.Error("catalogue picked up a non-cmtk token")
+	}
+	if len(got) != 3 {
+		t.Errorf("catalogue has %d entries, want 3", len(got))
+	}
+}

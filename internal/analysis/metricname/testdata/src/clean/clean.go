@@ -1,0 +1,18 @@
+// Package clean registers well-formed, catalogued metrics plus one
+// justified suppression; nothing may be flagged.
+package clean
+
+type registry struct{}
+
+func (r *registry) Counter(name, help string, labels ...string) int { return 0 }
+func (r *registry) Histogram(name, help string, buckets []float64, labels ...string) int {
+	return 0
+}
+
+func register(reg *registry) {
+	reg.Counter("cmtk_catalogued_total", "documented family", "shell", "kind")
+	reg.Histogram("cmtk_catalogued_seconds", "documented histogram",
+		[]float64{0.001, 0.01}, "shell")
+	//cmlint:allow metricname(fixture: migration-era family documented in the next release)
+	reg.Counter("cmtk_not_yet_catalogued_total", "suppressed until documented")
+}

@@ -1,0 +1,23 @@
+// Package flagged seeds metricname violations: bad prefixes and casing,
+// uncatalogued families, oversized and non-literal label sets.
+package flagged
+
+type registry struct{}
+
+func (r *registry) Counter(name, help string, labels ...string) int { return 0 }
+func (r *registry) Gauge(name, help string, labels ...string) int   { return 0 }
+func (r *registry) Histogram(name, help string, buckets []float64, labels ...string) int {
+	return 0
+}
+
+func register(reg *registry, dynamic string) {
+	reg.Counter("shell_fires_total", "missing prefix")                // want `does not match the naming convention`
+	reg.Counter("cmtk_Shell_Fires", "bad casing")                     // want `does not match the naming convention`
+	reg.Counter("cmtk_mystery_total", "absent from catalogue")        // want `not catalogued in OBSERVABILITY.md`
+	reg.Gauge("cmtk_catalogued_depth", "ok name, bad label", "Shell") // want `label "Shell" does not match`
+	reg.Counter("cmtk_catalogued_total", "too many labels",           // want `declares 5 labels \(max 4\)`
+		"a", "b", "c", "d", "e")
+	reg.Counter("cmtk_catalogued_total", "non-literal label", dynamic) // want `non-literal label argument`
+	reg.Histogram("cmtk_catalogued_seconds", "bucket arg is not a label",
+		[]float64{1, 2}, "shell")
+}

@@ -1,0 +1,33 @@
+// Package trace (clean fixture): deterministic code that uses time
+// types, injected clocks, seeded randomness, and one justified
+// suppression — none of it may be flagged.
+package trace
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock is the injected time source; reading it is always legal.
+type Clock interface {
+	Now() time.Time
+}
+
+// elapsed computes with time.Time/Duration values without touching the
+// ambient clock.
+func elapsed(c Clock, since time.Time) time.Duration {
+	return c.Now().Sub(since)
+}
+
+// seeded uses a deterministic source; the constructors are not global
+// rand.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// bridge is the sanctioned exception, carrying its justification.
+func bridge() time.Time {
+	//cmlint:allow wallclock(fixture: this is the one bridge to the system clock)
+	return time.Now()
+}

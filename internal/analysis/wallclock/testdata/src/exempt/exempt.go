@@ -1,0 +1,11 @@
+// Package harness is not in the deterministic set: wall-clock reads
+// are how experiment wall time is measured, and none may be flagged.
+package harness
+
+import "time"
+
+func wallTime(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

@@ -1,0 +1,32 @@
+// Package trace seeds wallclock violations inside a deterministic
+// package: ambient clock reads, timers, and global math/rand.
+package trace
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want `wall-clock read time.Now in deterministic package trace`
+}
+
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want `wall-clock read time.Since in deterministic package trace`
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) // want `wall-clock read time.Sleep in deterministic package trace`
+}
+
+func timer(f func()) *time.Timer {
+	return time.AfterFunc(time.Second, f) // want `wall-clock read time.AfterFunc in deterministic package trace`
+}
+
+func jitter() float64 {
+	return rand.Float64() // want `global math/rand use rand.Float64 in deterministic package trace`
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want `global math/rand use rand.Intn in deterministic package trace`
+}

@@ -1,0 +1,92 @@
+// Package wallclock forbids ambient time and randomness in the packages
+// whose determinism the experiments rely on.  E15's exact-equality
+// assertions, the serial-vs-parallel equivalence test and the
+// static-vs-sharded fleet test all depend on shell, trace, chaos,
+// vclock, fleet and guarantee reading time only through an injected
+// vclock.Clock and randomness only through seeded rand.New sources; a
+// stray time.Now or global math/rand call silently converts an exact
+// experiment into a flaky one.
+//
+// Flagged in deterministic packages: time.Now, time.Since, time.Until,
+// time.After, time.AfterFunc, time.Tick, time.NewTimer, time.NewTicker,
+// time.Sleep, and any package-level math/rand function (the seeded
+// constructors rand.New, rand.NewSource, rand.NewZipf stay legal).
+// Legitimate exceptions — vclock.Real is *the* bridge to the system
+// clock — carry //cmlint:allow wallclock(reason).
+package wallclock
+
+import (
+	"go/ast"
+
+	"cmtk/internal/analysis"
+)
+
+// Analyzer is the wallclock checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "deterministic packages must read time via vclock.Clock and randomness via seeded sources, never ambient time.Now/math/rand",
+	Run:  run,
+}
+
+// Deterministic names the packages under enforcement.  Matching is by
+// package name: these are the toolkit layers the experiments drive on a
+// virtual clock.
+var Deterministic = map[string]bool{
+	"shell":     true,
+	"trace":     true,
+	"chaos":     true,
+	"vclock":    true,
+	"fleet":     true,
+	"guarantee": true,
+}
+
+// bannedTime lists package time functions that read or wait on the
+// ambient clock.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"Sleep": true,
+}
+
+// allowedRand lists the identifiers in math/rand that do not touch the
+// global (unseeded, process-wide) source: constructors and types.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+}
+
+func run(p *analysis.Pass) error {
+	if !Deterministic[p.Pkg.Name] {
+		return nil
+	}
+	for _, file := range p.Pkg.Files {
+		timeName := analysis.ImportName(file, "time")
+		randName := analysis.ImportName(file, "math/rand")
+		if randName == "" {
+			randName = analysis.ImportName(file, "math/rand/v2")
+		}
+		if timeName == "" && randName == "" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			root, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch {
+			case timeName != "" && root.Name == timeName && bannedTime[sel.Sel.Name]:
+				p.Reportf(sel.Pos(), "wall-clock read %s.%s in deterministic package %s; inject a vclock.Clock instead (DESIGN.md §11)",
+					timeName, sel.Sel.Name, p.Pkg.Name)
+			case randName != "" && root.Name == randName && !allowedRand[sel.Sel.Name]:
+				p.Reportf(sel.Pos(), "global math/rand use %s.%s in deterministic package %s; use a seeded rand.New(rand.NewSource(seed)) instead",
+					randName, sel.Sel.Name, p.Pkg.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

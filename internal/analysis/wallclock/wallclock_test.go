@@ -1,0 +1,20 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"cmtk/internal/analysis/analysistest"
+	"cmtk/internal/analysis/wallclock"
+)
+
+func TestWallclockFlagsSeededViolations(t *testing.T) {
+	analysistest.Run(t, ".", wallclock.Analyzer, "flagged")
+}
+
+func TestWallclockAcceptsInjectedClockAndSuppressions(t *testing.T) {
+	analysistest.Run(t, ".", wallclock.Analyzer, "clean")
+}
+
+func TestWallclockIgnoresNonDeterministicPackages(t *testing.T) {
+	analysistest.Run(t, ".", wallclock.Analyzer, "exempt")
+}

@@ -1,0 +1,32 @@
+// Package transport (clean fixture): materialized marshals, non-Message
+// serialization, and a justified caller-materializes suppression.
+package transport
+
+import "encoding/json"
+
+type Message struct {
+	Kind     string
+	Bindings map[string]string
+}
+
+func (m *Message) WireReady() {}
+
+// frame materializes every message before the boundary.
+func frame(batch []Message) ([]byte, error) {
+	for i := range batch {
+		batch[i].WireReady()
+	}
+	return json.Marshal(batch)
+}
+
+// snapshot serializes a non-Message value; no materialization needed.
+func snapshot(state map[string]uint64) ([]byte, error) {
+	return json.Marshal(state)
+}
+
+// relay is materialized by its only caller, which is a legitimate shape
+// when justified.
+func relay(m Message) ([]byte, error) {
+	//cmlint:allow wireready(fixture: the single caller renders m wire-ready before relay)
+	return json.Marshal(m)
+}

@@ -1,0 +1,48 @@
+// Package transport seeds wireready violations: Messages crossing
+// marshal and journal boundaries without materialization.
+package transport
+
+import "encoding/json"
+
+// Message mirrors the transport message shape: in-process fields that
+// must be folded before serialization.
+type Message struct {
+	Kind     string
+	Bindings map[string]string
+}
+
+// WireReady materializes in-process fields.
+func (m *Message) WireReady() {}
+
+type journal struct{}
+
+func (j *journal) Append(typ byte, data []byte) error { return nil }
+
+type encoder interface {
+	Encode(v any) error
+}
+
+func frame(batch []Message) ([]byte, error) {
+	return json.Marshal(batch) // want `Marshal of batch \(type \[\]Message\) without a prior WireReady call`
+}
+
+func frameOne(m Message) ([]byte, error) {
+	return json.Marshal(m) // want `Marshal of m \(type Message\) without a prior WireReady call`
+}
+
+type queued struct {
+	Seq uint64
+	Msg Message
+}
+
+func journalOne(j *journal, m Message) error {
+	data, err := json.Marshal(queued{Seq: 1, Msg: m}) // want `Marshal of m \(type Message\) without a prior WireReady call`
+	if err != nil {
+		return err
+	}
+	return j.Append(1, data)
+}
+
+func encodeOne(enc encoder, m *Message) error {
+	return enc.Encode(m) // want `Encode of m \(type \*Message\) without a prior WireReady call`
+}

@@ -1,0 +1,16 @@
+package wireready_test
+
+import (
+	"testing"
+
+	"cmtk/internal/analysis/analysistest"
+	"cmtk/internal/analysis/wireready"
+)
+
+func TestWirereadyFlagsSeededViolations(t *testing.T) {
+	analysistest.Run(t, ".", wireready.Analyzer, "flagged")
+}
+
+func TestWirereadyAcceptsMaterializedAndSuppressed(t *testing.T) {
+	analysistest.Run(t, ".", wireready.Analyzer, "clean")
+}

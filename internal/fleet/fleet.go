@@ -389,8 +389,10 @@ func (f *Fleet) drainLocked() {
 			return
 		}
 		// In-flight bus deliveries ride real-clock timer goroutines; yield
-		// rather than spin.
+		// rather than spin.  The sleep only paces this poll loop — it never
+		// influences a committed timestamp or verdict.
 		runtime.Gosched()
+		//cmlint:allow wallclock(quiesce poll pacing only; no deterministic state reads this clock)
 		time.Sleep(100 * time.Microsecond)
 	}
 }

@@ -1,0 +1,11 @@
+package fleet
+
+import (
+	"testing"
+
+	"cmtk/internal/analysis/leakcheck"
+)
+
+// TestMain fails the suite if goroutines it created outlive it — the
+// dynamic counterpart to the static goroleak analyzer (DESIGN §11).
+func TestMain(m *testing.M) { leakcheck.Main(m) }

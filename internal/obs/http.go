@@ -48,6 +48,7 @@ func Serve(addr string, reg *Registry, ring *Ring) (*http.Server, string, error)
 		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: Handler(reg, ring)}
+	//cmlint:allow goroleak(the caller owns shutdown: closing the returned http.Server stops Serve)
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
 }

@@ -161,6 +161,7 @@ type partition struct {
 	// dataMu is the footprint lock: held, in ascending partition order
 	// with the rest of the unit's footprint, while any unit that can touch
 	// this partition's item bases runs.
+	//cmlint:lockrank 10
 	dataMu sync.Mutex
 	eng    *exec
 	depth  *obs.Gauge

@@ -59,6 +59,7 @@ type Trace struct {
 	// commitMu serializes AppendUnit commits: sequence-block assignment,
 	// commit-time stamping, shard publication, and the caller's post-commit
 	// hook happen atomically with respect to other units.
+	//cmlint:lockrank 20
 	commitMu sync.Mutex
 	// cloning selects the legacy representation: every append clones the
 	// full interpretation and stores eager old/new maps on the event.
@@ -69,6 +70,7 @@ type Trace struct {
 // traceShard is one lock stripe of the store: the events, per-item write
 // timelines, and current-state slice for the item bases that hash here.
 type traceShard struct {
+	//cmlint:lockrank 30
 	mu     sync.Mutex
 	events []*event.Event // seq-ascending
 	// timelines holds, per item key, the performed-write events on that
@@ -224,6 +226,8 @@ func insertBySeq(s []*event.Event, e *event.Event) []*event.Event {
 // mutex is still held; the parallel shell engine flushes the unit's
 // remote sends there so per-link send order matches trace commit order
 // (Appendix A.2 property 7 across shells).
+//
+//cmlint:acquires 20, 30
 func (t *Trace) AppendUnit(events []*event.Event, now func() time.Time, then func()) {
 	if len(events) == 0 && then == nil {
 		return

@@ -289,10 +289,6 @@ func (t *TCP) flushPeer(to string, o *tcpOut) {
 			t.dropBatch(to, batch, fmt.Errorf("transport: endpoint %s closed", t.shellID))
 			continue
 		}
-		for i := range batch {
-			batch[i].WireReady()
-			batch[i].TriggerEvent = nil // never crosses the network
-		}
 		t.mBatch.Observe(float64(len(batch)))
 		if err := t.sendFrame(to, addr, batch); err != nil {
 			t.dropBatch(to, batch, err)
@@ -301,7 +297,14 @@ func (t *TCP) flushPeer(to string, o *tcpOut) {
 }
 
 // sendFrame performs one batched round-trip to a peer, dialing lazily.
+// It owns the marshal boundary: every message is rendered wire-ready
+// here, immediately before encoding, so the materialization is local to
+// the serialization it protects.
 func (t *TCP) sendFrame(to, addr string, batch []Message) error {
+	for i := range batch {
+		batch[i].WireReady()
+		batch[i].TriggerEvent = nil // never crosses the network
+	}
 	t.mu.Lock()
 	c, ok := t.peers[to]
 	t.mu.Unlock()
