@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cmbench [-scale N] [-exp E1,E2,...] [-obs] [-json FILE] [-fleetjson FILE]
+//	cmbench [-scale N] [-exp E1,E2,...] [-obs] [-json FILE] [-fleetjson FILE] [-retainjson FILE]
 //
 // -obs snapshots the process-wide metrics registry around each
 // experiment and prints the per-experiment deltas (every counter and
@@ -30,6 +30,11 @@
 // -loadjson does the same for the E15 chaos-soak rows (rate × fault
 // campaign: sustained events/sec, latency quantiles, deadline misses,
 // recovery time); the committed BENCH_LOAD.json is generated this way.
+//
+// -retainjson merges the E18 bounded-memory retention rows (a 10M-event
+// flat-RSS soak with durable checkpoint cold start, plus a smaller
+// equivalence arm checked against an unpruned control) under an "e18"
+// key, composing into the same BENCH_E14.json.
 package main
 
 import (
@@ -45,11 +50,12 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "workload scale factor")
-	exps := flag.String("exp", "all", "comma-separated experiment ids (E1..E17, F1, F2) or 'all'")
+	exps := flag.String("exp", "all", "comma-separated experiment ids (E1..E18, F1, F2) or 'all'")
 	obsMode := flag.Bool("obs", false, "print per-experiment metric deltas from the obs registry")
 	jsonOut := flag.String("json", "", "write E14+E16 engine rows to this file as JSON (merged key-wise) and exit")
 	fleetOut := flag.String("fleetjson", "", "write E17 fleet-scaling rows to this file as JSON (merged key-wise) and exit")
 	loadOut := flag.String("loadjson", "", "write E15 chaos-soak rows to this file as JSON and exit")
+	retainOut := flag.String("retainjson", "", "write E18 retention-soak rows (10M-event soak + equivalence arm) to this file as JSON (merged key-wise) and exit")
 	flag.Parse()
 
 	writeRows := func(path, what string, rows any, n int) {
@@ -101,6 +107,12 @@ func main() {
 		writeRows(*loadOut, "E15", rows, len(rows))
 		return
 	}
+	if *retainOut != "" {
+		// 5M updates record two events each: the 10M-event flat-RSS soak.
+		e18 := harness.E18Rows(5_000_000**scale, 100_000**scale)
+		mergeRows(*retainOut, "E18", map[string]any{"e18": e18}, len(e18))
+		return
+	}
 
 	runners := map[string]func() harness.Table{
 		"E1":  func() harness.Table { return harness.E1(100 * *scale) },
@@ -120,10 +132,11 @@ func main() {
 		"E15": func() harness.Table { return harness.E15(60 * *scale) },
 		"E16": func() harness.Table { return harness.E16(2000 * *scale) },
 		"E17": func() harness.Table { return harness.E17(2000 * *scale) },
+		"E18": func() harness.Table { return harness.E18(40000**scale, 20000**scale) },
 		"F1":  func() harness.Table { return harness.F1(100 * *scale) },
 		"F2":  func() harness.Table { return harness.F2(30 * *scale) },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "F1", "F2"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "F1", "F2"}
 
 	var selected []string
 	if *exps == "all" {
@@ -132,7 +145,7 @@ func main() {
 		for _, id := range strings.Split(*exps, ",") {
 			id = strings.TrimSpace(strings.ToUpper(id))
 			if _, ok := runners[id]; !ok {
-				fmt.Fprintf(os.Stderr, "cmbench: unknown experiment %q (want E1..E17, F1, F2)\n", id)
+				fmt.Fprintf(os.Stderr, "cmbench: unknown experiment %q (want E1..E18, F1, F2)\n", id)
 				os.Exit(2)
 			}
 			selected = append(selected, id)

@@ -14,6 +14,12 @@
 //	cmctl ring -route table.json [-plan a,b,c,d]
 //	cmctl ring -spec strategy.spec -members a,b,c [-write table.json]
 //	cmctl ring -state-dir /var/lib/cmshell-a
+//	cmctl ckpt -state-dir /var/lib/cmshell-a [-log trace-a] [-verify]
+//
+// The ckpt subcommand decodes the sectioned trace checkpoints a
+// retention-enabled shell persists, checking every section's CRC and
+// printing granular verdicts; -verify turns the outcome into an exit
+// code for scripted preflight before a cold start.
 //
 // The state subcommand reads a cmshell durable state directory without
 // modifying it (safe while the shell is running): per-journal segment
@@ -48,6 +54,7 @@ import (
 	"cmtk/internal/rid"
 	"cmtk/internal/rule"
 	"cmtk/internal/strategy"
+	"cmtk/internal/trace"
 	"cmtk/internal/translator"
 	"cmtk/internal/transport"
 )
@@ -65,6 +72,8 @@ func main() {
 		state(os.Args[2:])
 	case "ring":
 		ringCmd(os.Args[2:])
+	case "ckpt":
+		ckptCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -75,6 +84,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       cmctl suggest -x BASE -xrid FILE -y BASE -yrid FILE [-arity N]")
 	fmt.Fprintln(os.Stderr, "       cmctl state -state-dir DIR")
 	fmt.Fprintln(os.Stderr, "       cmctl ring {-route FILE | -spec FILE -members A,B,C | -state-dir DIR} [-rid FILE] [-plan A,B,C,D] [-write FILE]")
+	fmt.Fprintln(os.Stderr, "       cmctl ckpt -state-dir DIR [-log NAME] [-verify]")
 	os.Exit(2)
 }
 
@@ -181,6 +191,85 @@ func state(args []string) {
 			fmt.Printf("  <- %s: dedup cursor at seq %d (sender epoch %d)\n",
 				peer, in.Next, in.Epoch)
 		}
+	}
+}
+
+// ckptCmd implements `cmctl ckpt`: inspect and verify the sectioned
+// trace checkpoints a retention-enabled shell persists (read-only, safe
+// while the shell runs).  Every section's CRC is checked and its
+// verdict printed; with -verify the exit code reflects the outcome, so
+// an operator can validate a checkpoint before trusting a cold start to
+// it.
+func ckptCmd(args []string) {
+	fs := flag.NewFlagSet("ckpt", flag.ExitOnError)
+	dir := fs.String("state-dir", "", "durable state directory to inspect")
+	logName := fs.String("log", "", "checkpoint log to decode (default: every trace-* log)")
+	verify := fs.Bool("verify", false, "exit nonzero unless every snapshot verifies")
+	fs.Parse(args)
+	if *dir == "" {
+		usage()
+	}
+	var names []string
+	if *logName != "" {
+		names = []string{*logName}
+	} else {
+		infos, _, err := durable.Inspect(*dir)
+		if err != nil {
+			log.Fatalf("cmctl: %v", err)
+		}
+		for _, info := range infos {
+			if strings.HasPrefix(info.Name, "trace-") {
+				names = append(names, info.Name)
+			}
+		}
+	}
+	if len(names) == 0 {
+		fmt.Printf("%s: no trace checkpoint logs\n", *dir)
+		return
+	}
+	ok := true
+	for _, name := range names {
+		rec, err := durable.ReadLog(*dir, name)
+		if err != nil {
+			log.Fatalf("cmctl: %s: %v", name, err)
+		}
+		fmt.Printf("checkpoint %s: ", name)
+		if rec.Snapshot == nil {
+			fmt.Printf("no snapshot")
+			if len(rec.Damage) > 0 {
+				fmt.Printf(" (%s: %s)", rec.Damage[0].Kind, rec.Damage[0].Detail)
+				ok = false
+			}
+			fmt.Println()
+			continue
+		}
+		secs, rep := durable.DecodeSections(rec.Snapshot)
+		verdict := "verified"
+		if err := rep.Err(); err != nil {
+			verdict = err.Error()
+			ok = false
+		}
+		fmt.Printf("%d bytes, container v%d, %s\n", len(rec.Snapshot), rep.Version, verdict)
+		for _, st := range rep.Sections {
+			v := "ok"
+			if st.Err != "" {
+				v = "REJECTED: " + st.Err
+			}
+			fmt.Printf("  section %-10s %8d bytes  %s\n", st.Name, st.Bytes, v)
+		}
+		if meta, found := secs["meta"]; found {
+			var cs trace.CheckpointState
+			items := map[string]string{}
+			json.Unmarshal(secs["base"], &items)
+			if err := json.Unmarshal(meta, &cs); err == nil {
+				fmt.Printf("  next seq %d, %d event(s) folded (%d bytes), base time %s, %d base item(s)\n",
+					cs.NextSeq, cs.PrunedEvents, cs.PrunedBytes,
+					cs.BaseTime.Format("2006-01-02 15:04:05"), len(items))
+			}
+		}
+	}
+	if *verify && !ok {
+		os.Exit(1)
 	}
 }
 

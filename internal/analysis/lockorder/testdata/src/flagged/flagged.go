@@ -64,6 +64,20 @@ func descending(parts []*part) {
 	}
 }
 
+// compactorDescending is the trace-compaction footprint gone wrong:
+// commit lock held, but the shard stripes acquired in descending index
+// order — deadlock-prone against any ascending acquirer.
+func compactorDescending(s *store) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Lock() // want `acquired inside a descending loop`
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+}
+
 // callUnderShard calls the annotated commit() while holding a shard
 // stripe: a cross-function rank inversion.
 func callUnderShard(s *store) {

@@ -1,0 +1,153 @@
+// Sectioned snapshots: a self-validating container for checkpoint
+// payloads, modeled on history-file importers that refuse to trust a
+// byte they cannot verify.  A snapshot is magic + version framing
+// followed by named sections, each carrying its own length and CRC, so
+// an importer can tell exactly which section rotted and report granular
+// rejection counts — while the import itself stays all-or-nothing: one
+// bad section and nothing is applied.
+//
+// Layout (little-endian, matching the WAL framing):
+//
+//	[8]byte  magic "CMTKSNP1"
+//	u16      version
+//	u16      section count
+//	then per section:
+//	  u16    name length, name bytes
+//	  u32    payload length
+//	  u32    CRC32-IEEE of payload
+//	  payload
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// SnapshotMagic opens every sectioned snapshot.
+const SnapshotMagic = "CMTKSNP1"
+
+// SnapshotVersion is the current container version; importers accept
+// anything up to the version they were built with.
+const SnapshotVersion = 1
+
+// Section is one named, independently verified payload.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// SectionStatus is one section's import verdict.
+type SectionStatus struct {
+	Name  string // "" when the frame was too damaged to recover a name
+	Bytes int
+	Err   string // "" = verified
+}
+
+// ImportReport is the granular outcome of decoding one snapshot: every
+// section's verdict, plus the container-level failure (if any).  A
+// snapshot imports all-or-nothing, but the report still names each
+// rejected section so operators can see what rotted.
+type ImportReport struct {
+	Version  uint16
+	Sections []SectionStatus
+	Rejected int    // sections that failed verification
+	Reason   string // container-level failure: "magic", "version", "truncated"
+}
+
+// Err returns a summarizing error when the snapshot failed to verify.
+func (r ImportReport) Err() error {
+	if r.Reason != "" {
+		return fmt.Errorf("durable: snapshot rejected: %s", r.Reason)
+	}
+	if r.Rejected > 0 {
+		return fmt.Errorf("durable: snapshot rejected: %d of %d sections failed verification", r.Rejected, len(r.Sections))
+	}
+	return nil
+}
+
+// EncodeSections renders sections into a verifiable snapshot.
+func EncodeSections(sections []Section) []byte {
+	size := len(SnapshotMagic) + 4
+	for _, s := range sections {
+		size += 2 + len(s.Name) + 8 + len(s.Data)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, SnapshotMagic...)
+	out = binary.LittleEndian.AppendUint16(out, SnapshotVersion)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(sections)))
+	for _, s := range sections {
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(s.Name)))
+		out = append(out, s.Name...)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(s.Data)))
+		out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(s.Data))
+		out = append(out, s.Data...)
+	}
+	return out
+}
+
+// DecodeSections verifies a snapshot and returns its sections by name.
+// The map is non-nil only when every section verified (all-or-nothing);
+// the report is always populated, naming each section's verdict so a
+// caller can count granular rejections.  Damage to one section's frame
+// can hide the sections behind it — those are reported as truncated.
+func DecodeSections(raw []byte) (map[string][]byte, ImportReport) {
+	rep := ImportReport{}
+	if len(raw) < len(SnapshotMagic)+4 {
+		rep.Reason = "truncated"
+		return nil, rep
+	}
+	if string(raw[:len(SnapshotMagic)]) != SnapshotMagic {
+		rep.Reason = "magic"
+		return nil, rep
+	}
+	raw = raw[len(SnapshotMagic):]
+	rep.Version = binary.LittleEndian.Uint16(raw[0:2])
+	count := int(binary.LittleEndian.Uint16(raw[2:4]))
+	raw = raw[4:]
+	if rep.Version == 0 || rep.Version > SnapshotVersion {
+		rep.Reason = "version"
+		return nil, rep
+	}
+	out := map[string][]byte{}
+	for i := 0; i < count; i++ {
+		if len(raw) < 2 {
+			rep.Sections = append(rep.Sections, SectionStatus{Err: "truncated"})
+			rep.Rejected += count - i
+			break
+		}
+		nameLen := int(binary.LittleEndian.Uint16(raw[0:2]))
+		raw = raw[2:]
+		if len(raw) < nameLen+8 {
+			rep.Sections = append(rep.Sections, SectionStatus{Err: "truncated"})
+			rep.Rejected += count - i
+			break
+		}
+		name := string(raw[:nameLen])
+		dataLen := int(binary.LittleEndian.Uint32(raw[nameLen : nameLen+4]))
+		sum := binary.LittleEndian.Uint32(raw[nameLen+4 : nameLen+8])
+		raw = raw[nameLen+8:]
+		if len(raw) < dataLen {
+			rep.Sections = append(rep.Sections, SectionStatus{Name: name, Err: "truncated"})
+			rep.Rejected += count - i
+			break
+		}
+		payload := raw[:dataLen]
+		raw = raw[dataLen:]
+		st := SectionStatus{Name: name, Bytes: dataLen}
+		if crc32.ChecksumIEEE(payload) != sum {
+			st.Err = "crc"
+			rep.Rejected++
+		} else if _, dup := out[name]; dup {
+			st.Err = "duplicate"
+			rep.Rejected++
+		} else {
+			out[name] = payload
+		}
+		rep.Sections = append(rep.Sections, st)
+	}
+	if rep.Rejected > 0 {
+		return nil, rep
+	}
+	return out, rep
+}

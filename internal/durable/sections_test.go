@@ -1,0 +1,97 @@
+package durable
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sampleSections() []Section {
+	return []Section{
+		{Name: "meta", Data: []byte(`{"next_seq":42}`)},
+		{Name: "base", Data: bytes.Repeat([]byte("kv"), 100)},
+		{Name: "monitor", Data: []byte(`{"entries":[]}`)},
+	}
+}
+
+func TestSectionsRoundTrip(t *testing.T) {
+	raw := EncodeSections(sampleSections())
+	got, rep := DecodeSections(raw)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("clean snapshot rejected: %v (%+v)", err, rep)
+	}
+	if len(got) != 3 {
+		t.Fatalf("decoded %d sections", len(got))
+	}
+	for _, s := range sampleSections() {
+		if !bytes.Equal(got[s.Name], s.Data) {
+			t.Fatalf("section %s diverged", s.Name)
+		}
+	}
+	if rep.Version != SnapshotVersion || rep.Rejected != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+// TestSectionsBitFlipGranularRejection flipping any payload byte must
+// reject the import entirely (all-or-nothing) while the report names
+// exactly the damaged section.
+func TestSectionsBitFlipGranularRejection(t *testing.T) {
+	clean := EncodeSections(sampleSections())
+	// Locate the "base" payload and flip one bit in it.
+	idx := bytes.Index(clean, bytes.Repeat([]byte("kv"), 100))
+	if idx < 0 {
+		t.Fatal("payload not found")
+	}
+	raw := append([]byte(nil), clean...)
+	raw[idx+50] ^= 0x40
+
+	got, rep := DecodeSections(raw)
+	if got != nil || rep.Err() == nil {
+		t.Fatalf("corrupted snapshot imported: %+v", rep)
+	}
+	if rep.Rejected != 1 {
+		t.Fatalf("rejected %d sections, want exactly 1", rep.Rejected)
+	}
+	var bad []string
+	for _, s := range rep.Sections {
+		if s.Err != "" {
+			bad = append(bad, s.Name+":"+s.Err)
+		}
+	}
+	if len(bad) != 1 || bad[0] != "base:crc" {
+		t.Fatalf("rejections: %v", bad)
+	}
+}
+
+func TestSectionsContainerDamage(t *testing.T) {
+	clean := EncodeSections(sampleSections())
+
+	// Wrong magic.
+	raw := append([]byte(nil), clean...)
+	raw[0] ^= 0xFF
+	if got, rep := DecodeSections(raw); got != nil || rep.Reason != "magic" {
+		t.Fatalf("magic damage: %+v", rep)
+	}
+
+	// Future version.
+	raw = append([]byte(nil), clean...)
+	raw[len(SnapshotMagic)] = 0xEE
+	if got, rep := DecodeSections(raw); got != nil || rep.Reason != "version" {
+		t.Fatalf("version damage: %+v", rep)
+	}
+
+	// Truncated mid-section: remaining sections counted as rejected.
+	if got, rep := DecodeSections(clean[:len(clean)-30]); got != nil || rep.Rejected == 0 {
+		t.Fatalf("truncation accepted: %+v", rep)
+	}
+
+	// Too short for any header.
+	if got, rep := DecodeSections([]byte("CM")); got != nil || rep.Reason != "truncated" {
+		t.Fatalf("short snapshot: %+v", rep)
+	}
+
+	// Empty section list round-trips.
+	if got, rep := DecodeSections(EncodeSections(nil)); got == nil || rep.Err() != nil {
+		t.Fatalf("empty snapshot rejected: %+v", rep)
+	}
+}

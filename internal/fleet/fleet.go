@@ -454,11 +454,15 @@ func (f *Fleet) Rebalance(members []string) (RebalanceReport, error) {
 			continue // pair already handed off
 		}
 		delete(byHop, h)
-		exported := f.shells[h.from].ExportPrivate(func(b string) bool { return bases[b] }, true)
-		if err := f.shells[h.to].ImportPrivate(exported); err != nil {
+		// The handoff travels as a sectioned, CRC-verified snapshot: the
+		// importer refuses a payload that rotted rather than installing
+		// damaged constraint state under the new epoch.
+		snap := f.shells[h.from].ExportPrivateSnap(func(b string) bool { return bases[b] }, true)
+		n, _, err := f.shells[h.to].ImportPrivateSnap(snap)
+		if err != nil {
 			return RebalanceReport{}, err
 		}
-		items += len(exported)
+		items += n
 	}
 
 	// Cutover: one epoch boundary for the whole fleet.  Ownership refresh

@@ -1,0 +1,761 @@
+// Incremental guarantee checking: Monitor discharges each obligation of
+// a metric guarantee exactly once, while the trace still retains the
+// obligation's full window, and accumulates the verdicts into running
+// reports.  That is what makes trace compaction verdict-preserving: the
+// monitor's Horizon() names the oldest instant any *pending* obligation
+// can still look back to, so everything older can be folded away
+// (trace.CompactBefore) without changing what Reports() will ever say.
+//
+// Only guarantees with a bounded window are admissible — the metric
+// forms (4) and the §6 bounded guarantees.  The unbounded forms
+// (Follows, Leads, StrictlyFollows, MonitorFlag, Periodic) may need
+// arbitrarily old history, so Register rejects them: a deployment that
+// wants both compaction and an unbounded guarantee has asked for a
+// contradiction, and gets told so instead of a silently wrong verdict.
+package guarantee
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cmtk/internal/data"
+	"cmtk/internal/event"
+	"cmtk/internal/rule"
+	"cmtk/internal/trace"
+)
+
+// Windowed is a guarantee whose obligations only ever examine a bounded
+// interval of history: Window() is the guarantee's own time bound (κ).
+// The retention lookback can exceed Window() — metric-leads obligations
+// stay pending for κ and then look back κ — so compaction consumes
+// Monitor.Horizon(), not Window(), to decide what is safe to fold.
+type Windowed interface {
+	Guarantee
+	Window() time.Duration
+}
+
+// Window implements Windowed: obligations look back at most Kappa.
+func (g MetricFollows) Window() time.Duration { return g.Kappa }
+
+// Window implements Windowed: an anchor stays pending for Kappa.
+func (g MetricLeads) Window() time.Duration { return g.Kappa }
+
+// Window implements Windowed: a violation window longer than Kappa is
+// decided the moment it exceeds Kappa; the open-window start is carried
+// as state, not re-read from history.
+func (g ExistsWithin) Window() time.Duration { return g.Kappa }
+
+// Window implements Windowed: an invariant is decided at each state.
+func (g Invariant) Window() time.Duration { return 0 }
+
+// Monitor incrementally checks a set of windowed guarantees against a
+// growing trace.  Advance processes newly decidable obligations;
+// Horizon reports the oldest instant still needed; Reports renders the
+// verdicts as if the trace ended now, matching what batch Check would
+// have said on the full, uncompacted history.  Monitor is safe for
+// concurrent use.
+type Monitor struct {
+	//cmlint:lockrank 10
+	mu      sync.Mutex
+	entries []*monEntry
+	horizon time.Time
+	ok      bool // horizon valid (at least one Advance saw events)
+}
+
+type monEntry struct {
+	g   Windowed
+	inc incremental
+	rep Report
+}
+
+// incremental is the per-guarantee engine: advance discharges every
+// obligation decidable with the trace ending at end, finish discharges
+// the rest exactly as the batch checker would (called on a clone, so
+// Reports stays non-destructive), and horizon names the oldest instant
+// still needed after an advance at end.  The shared famIndex replaces
+// each checker's own pairKeys pass, so one Advance walks the retained
+// events once no matter how many guarantees are registered.
+type incremental interface {
+	advance(tr *trace.Trace, ix *famIndex, end time.Time, rep *Report)
+	finish(tr *trace.Trace, ix *famIndex, end time.Time, rep *Report)
+	horizon(end time.Time) time.Time
+	clone() incremental
+	marshal() (json.RawMessage, error)
+	unmarshal(json.RawMessage) error
+}
+
+// famIndex is a one-pass snapshot of the item families observed in the
+// trace (retained events plus the folded base), shared by every checker
+// during one Advance or Reports call.  Folded writes stay discoverable
+// because compaction folds them into Initial().
+type famIndex struct {
+	byBase map[string][]data.ItemName
+}
+
+func indexFamilies(tr *trace.Trace) *famIndex {
+	ix := &famIndex{byBase: map[string][]data.ItemName{}}
+	seen := map[string]bool{}
+	add := func(n data.ItemName) {
+		key := n.Key()
+		if !seen[key] {
+			seen[key] = true
+			ix.byBase[n.Base] = append(ix.byBase[n.Base], n)
+		}
+	}
+	for _, e := range tr.Events() {
+		if e.Desc.Op.HasItem() {
+			add(e.Desc.Item)
+		}
+	}
+	for k := range tr.Initial() {
+		if n, err := data.ParseItemName(k); err == nil {
+			add(n)
+		}
+	}
+	for _, ns := range ix.byBase {
+		sort.Slice(ns, func(i, j int) bool { return ns[i].Key() < ns[j].Key() })
+	}
+	return ix
+}
+
+// pairs mirrors pairKeys over the index: the argument keys observed on
+// either base, united, in deterministic order.
+func (ix *famIndex) pairs(xBase, yBase string) [][2]data.ItemName {
+	keyArgs := map[string][]data.Value{}
+	for _, n := range ix.byBase[xBase] {
+		keyArgs[argsKey(n.Args)] = n.Args
+	}
+	for _, n := range ix.byBase[yBase] {
+		keyArgs[argsKey(n.Args)] = n.Args
+	}
+	out := make([][2]data.ItemName, 0, len(keyArgs))
+	for _, args := range keyArgs {
+		out = append(out, [2]data.ItemName{
+			{Base: xBase, Args: args},
+			{Base: yBase, Args: args},
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].Key() < out[j][0].Key() })
+	return out
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor(gs ...Guarantee) (*Monitor, error) {
+	m := &Monitor{}
+	for _, g := range gs {
+		if err := m.Register(g); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Register adds a guarantee to the monitor.  Guarantees without a
+// bounded window are rejected: their verdicts can depend on arbitrarily
+// old history, which is exactly what compaction folds away.
+func (m *Monitor) Register(g Guarantee) error {
+	w, ok := g.(Windowed)
+	if !ok {
+		return fmt.Errorf("guarantee: %s has no bounded window; it cannot be monitored incrementally (use batch Check on an uncompacted trace)", g.Name())
+	}
+	inc, err := newIncremental(w)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries = append(m.entries, &monEntry{
+		g:   w,
+		inc: inc,
+		rep: Report{Guarantee: g.Name(), Formula: g.Formula(), Holds: true},
+	})
+	return nil
+}
+
+func newIncremental(g Windowed) (incremental, error) {
+	switch g := g.(type) {
+	case MetricFollows:
+		return &incMetricFollows{g: g, last: map[string]tlPos{}}, nil
+	case MetricLeads:
+		return &incMetricLeads{g: g, last: map[string]tlPos{}}, nil
+	case ExistsWithin:
+		return &incExistsWithin{g: g, pairs: map[string]*ewPairState{}}, nil
+	case Invariant:
+		return &incInvariant{g: g}, nil
+	default:
+		return nil, fmt.Errorf("guarantee: no incremental checker for %s", g.Name())
+	}
+}
+
+// Advance processes every obligation that has become decidable and
+// refreshes the retention horizon.  Call it before CompactBefore: the
+// horizon is only safe for a fold once the obligations behind it have
+// been discharged.
+func (m *Monitor) Advance(tr *trace.Trace) {
+	end := tr.End()
+	if end.IsZero() {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ix := indexFamilies(tr)
+	h := end
+	for _, e := range m.entries {
+		e.inc.advance(tr, ix, end, &e.rep)
+		if eh := e.inc.horizon(end); eh.Before(h) {
+			h = eh
+		}
+	}
+	m.horizon, m.ok = h, true
+}
+
+// Horizon returns the oldest instant a pending obligation may still
+// examine, as of the last Advance.  Events strictly older can be folded
+// without changing any verdict.  ok is false before the first Advance
+// that saw events.
+func (m *Monitor) Horizon() (time.Time, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.horizon, m.ok
+}
+
+// Widest reports the largest registered guarantee window.
+func (m *Monitor) Widest() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var w time.Duration
+	for _, e := range m.entries {
+		if k := e.g.Window(); k > w {
+			w = k
+		}
+	}
+	return w
+}
+
+// Reports renders the verdicts as if the trace ended now: accumulated
+// obligations plus an end-of-trace pass on a clone of the pending
+// state, so calling it never consumes obligations and the result equals
+// what batch Check would report on the full history.
+func (m *Monitor) Reports(tr *trace.Trace) []Report {
+	end := tr.End()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Report, len(m.entries))
+	var ix *famIndex
+	if !end.IsZero() {
+		ix = indexFamilies(tr)
+	}
+	for i, e := range m.entries {
+		rep := e.rep
+		rep.Violations = append([]string(nil), e.rep.Violations...)
+		if ix != nil {
+			e.inc.clone().finish(tr, ix, end, &rep)
+		}
+		out[i] = rep
+	}
+	return out
+}
+
+// monitorState is the wire form of Handoff/Resume: the re-registration
+// path a fleet rebalance (or a cold start from checkpoint) uses to move
+// pending obligations to a new monitor without re-reading history.
+type monitorState struct {
+	Entries []monEntryState `json:"entries"`
+}
+
+type monEntryState struct {
+	Name    string          `json:"name"`
+	Report  Report          `json:"report"`
+	Horizon time.Time       `json:"horizon"`
+	OK      bool            `json:"ok"`
+	State   json.RawMessage `json:"state"`
+}
+
+// Handoff exports the monitor's pending state — per-guarantee markers,
+// carried violation windows, and accumulated reports — for Resume on a
+// monitor registered with the same guarantees.
+func (m *Monitor) Handoff() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := monitorState{}
+	for _, e := range m.entries {
+		raw, err := e.inc.marshal()
+		if err != nil {
+			return nil, fmt.Errorf("guarantee: handoff %s: %w", e.g.Name(), err)
+		}
+		st.Entries = append(st.Entries, monEntryState{
+			Name: e.g.Name(), Report: e.rep,
+			Horizon: m.horizon, OK: m.ok, State: raw,
+		})
+	}
+	return json.Marshal(st)
+}
+
+// Resume restores a Handoff into this monitor.  Every handed-off
+// guarantee must already be Registered here (matched by Name); the
+// restored markers mean re-registered windows pick up exactly where the
+// exporting monitor stopped, never re-opening discharged obligations.
+func (m *Monitor) Resume(raw []byte) error {
+	var st monitorState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("guarantee: resume: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byName := map[string]*monEntry{}
+	for _, e := range m.entries {
+		byName[e.g.Name()] = e
+	}
+	for _, es := range st.Entries {
+		e, ok := byName[es.Name]
+		if !ok {
+			return fmt.Errorf("guarantee: resume: %s is not registered on this monitor", es.Name)
+		}
+		if err := e.inc.unmarshal(es.State); err != nil {
+			return fmt.Errorf("guarantee: resume %s: %w", es.Name, err)
+		}
+		e.rep = es.Report
+		if es.OK {
+			if !m.ok || es.Horizon.Before(m.horizon) {
+				m.horizon = es.Horizon
+			}
+			m.ok = true
+		}
+	}
+	return nil
+}
+
+// EqualVerdicts reports whether two report sets agree guarantee by
+// guarantee on verdict, obligation count, and violation set.  Violation
+// order may differ between the batch checker (per pair) and the monitor
+// (per event), so violations compare as sorted multisets.
+func EqualVerdicts(a, b []Report) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	index := map[string]Report{}
+	for _, r := range a {
+		index[r.Guarantee] = r
+	}
+	for _, r := range b {
+		o, ok := index[r.Guarantee]
+		if !ok || o.Holds != r.Holds || o.Checked != r.Checked || len(o.Violations) != len(r.Violations) {
+			return false
+		}
+		va := append([]string(nil), o.Violations...)
+		vb := append([]string(nil), r.Violations...)
+		sort.Strings(va)
+		sort.Strings(vb)
+		for i := range va {
+			if va[i] != vb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// tlPos marks the last processed sample of one pair's anchor timeline;
+// Set distinguishes "nothing processed" from the zero position, so the
+// initial-value sample (zero time, seq 0) is processed exactly once.
+type tlPos struct {
+	At  time.Time `json:"at"`
+	Seq uint64    `json:"seq"`
+	Set bool      `json:"set"`
+}
+
+func (p tlPos) before(s trace.Sample) bool {
+	if !p.Set {
+		return true
+	}
+	if !p.At.Equal(s.At) {
+		return p.At.Before(s.At)
+	}
+	return p.Seq < s.Seq
+}
+
+// unprocessed returns the suffix of tl strictly after marker p.
+func unprocessed(tl []trace.Sample, p tlPos) []trace.Sample {
+	i := sort.Search(len(tl), func(i int) bool { return p.before(tl[i]) })
+	return tl[i:]
+}
+
+// incMetricFollows discharges each Y anchor once its instant is settled
+// (strictly before the trace end): the matching X interval either
+// already overlaps the anchor's window or extends to the present, and
+// in both cases later events cannot change the answer.
+type incMetricFollows struct {
+	g    MetricFollows
+	last map[string]tlPos
+}
+
+// check decides one anchor exactly as MetricFollows.Check does, with
+// the trace ending at end.
+func (c *incMetricFollows) check(xtl []trace.Sample, ys trace.Sample, end time.Time, rep *Report) {
+	rep.Checked++
+	from := ys.At.Add(-c.g.Kappa)
+	ok := false
+	for i, xs := range xtl {
+		intEnd := end
+		if i+1 < len(xtl) {
+			intEnd = xtl[i+1].At
+		}
+		if !xs.V.Equal(ys.V) {
+			continue
+		}
+		if xs.At.After(ys.At) {
+			break
+		}
+		if intEnd.After(from) {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		rep.violate("%s held %s at %s but %s did not hold it within %s before",
+			c.g.Y, ys.V, ys.At.Format(time.TimeOnly), c.g.X, c.g.Kappa)
+	}
+}
+
+func (c *incMetricFollows) run(tr *trace.Trace, ix *famIndex, end time.Time, rep *Report, settled func(trace.Sample) bool, mark bool) {
+	for _, pair := range ix.pairs(c.g.X, c.g.Y) {
+		x, y := pair[0], pair[1]
+		key := y.Key()
+		pending := unprocessed(tr.Timeline(y), c.last[key])
+		var xtl []trace.Sample
+		for _, ys := range pending {
+			if !settled(ys) {
+				break
+			}
+			if mark {
+				c.last[key] = tlPos{At: ys.At, Seq: ys.Seq, Set: true}
+			}
+			if ys.V.IsNull() {
+				continue
+			}
+			if xtl == nil {
+				xtl = tr.Timeline(x)
+			}
+			c.check(xtl, ys, end, rep)
+		}
+	}
+}
+
+func (c *incMetricFollows) advance(tr *trace.Trace, ix *famIndex, end time.Time, rep *Report) {
+	// An anchor strictly before end is settled: if the matching X
+	// interval is still open its overlap with (anchor−κ, anchor] can only
+	// grow, so deciding it against the current end equals deciding it
+	// against any later one.
+	c.run(tr, ix, end, rep, func(s trace.Sample) bool { return s.At.Before(end) }, true)
+}
+
+func (c *incMetricFollows) finish(tr *trace.Trace, ix *famIndex, end time.Time, rep *Report) {
+	c.run(tr, ix, end, rep, func(trace.Sample) bool { return true }, false)
+}
+
+func (c *incMetricFollows) horizon(end time.Time) time.Time { return end.Add(-c.g.Kappa) }
+
+func (c *incMetricFollows) clone() incremental {
+	out := &incMetricFollows{g: c.g, last: make(map[string]tlPos, len(c.last))}
+	for k, v := range c.last {
+		out.last[k] = v
+	}
+	return out
+}
+
+func (c *incMetricFollows) marshal() (json.RawMessage, error) { return json.Marshal(c.last) }
+func (c *incMetricFollows) unmarshal(raw json.RawMessage) error {
+	return json.Unmarshal(raw, &c.last)
+}
+
+// incMetricLeads discharges each X anchor once its deadline has passed:
+// every Y sample that could satisfy it is already in the trace (commit
+// stamps are nondecreasing), so the verdict is final.
+type incMetricLeads struct {
+	g    MetricLeads
+	last map[string]tlPos
+}
+
+func (c *incMetricLeads) check(ytl []trace.Sample, xs trace.Sample, rep *Report) {
+	rep.Checked++
+	deadline := xs.At.Add(c.g.Kappa)
+	ok := false
+	for _, ys := range unprocessed(ytl, tlPos{At: xs.At, Seq: xs.Seq, Set: true}) {
+		if ys.At.After(deadline) {
+			break
+		}
+		if ys.V.Equal(xs.V) {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		rep.violate("%s took %s at %s; %s did not reflect it within %s",
+			c.g.X, xs.V, xs.At.Format(time.TimeOnly), c.g.Y, c.g.Kappa)
+	}
+}
+
+func (c *incMetricLeads) run(tr *trace.Trace, ix *famIndex, end time.Time, rep *Report, settled func(trace.Sample) bool, mark bool) {
+	for _, pair := range ix.pairs(c.g.X, c.g.Y) {
+		x, y := pair[0], pair[1]
+		key := x.Key()
+		pending := unprocessed(tr.Timeline(x), c.last[key])
+		var ytl []trace.Sample
+		for _, xs := range pending {
+			if !settled(xs) {
+				break
+			}
+			if mark {
+				c.last[key] = tlPos{At: xs.At, Seq: xs.Seq, Set: true}
+			}
+			if xs.V.IsNull() {
+				continue
+			}
+			if ytl == nil {
+				ytl = tr.Timeline(y)
+			}
+			c.check(ytl, xs, rep)
+		}
+	}
+}
+
+func (c *incMetricLeads) advance(tr *trace.Trace, ix *famIndex, end time.Time, rep *Report) {
+	// Settled once the deadline is strictly past: no event at or after
+	// end can carry a stamp inside (anchor, anchor+κ] any more.
+	c.run(tr, ix, end, rep, func(s trace.Sample) bool { return s.At.Add(c.g.Kappa).Before(end) }, true)
+}
+
+func (c *incMetricLeads) finish(tr *trace.Trace, ix *famIndex, end time.Time, rep *Report) {
+	// Batch semantics at end-of-trace: anchors whose window extends past
+	// the end stay unchecked (their propagation window is still open).
+	horizon := end.Add(-c.g.Kappa)
+	c.run(tr, ix, end, rep, func(s trace.Sample) bool { return !s.At.After(horizon) }, false)
+}
+
+// horizon: pending anchors sit within κ of the end, and deciding one
+// looks back at most κ from its own instant.
+func (c *incMetricLeads) horizon(end time.Time) time.Time { return end.Add(-2 * c.g.Kappa) }
+
+func (c *incMetricLeads) clone() incremental {
+	out := &incMetricLeads{g: c.g, last: make(map[string]tlPos, len(c.last))}
+	for k, v := range c.last {
+		out.last[k] = v
+	}
+	return out
+}
+
+func (c *incMetricLeads) marshal() (json.RawMessage, error) { return json.Marshal(c.last) }
+func (c *incMetricLeads) unmarshal(raw json.RawMessage) error {
+	return json.Unmarshal(raw, &c.last)
+}
+
+// ewPairState carries one pair's open violation window across advances
+// (and across Handoff): the window start is a carried instant, so the
+// events that opened it can be folded away without losing it.
+type ewPairState struct {
+	RefKey    string    `json:"ref"`
+	TgtKey    string    `json:"tgt"`
+	InViol    bool      `json:"in_viol"`
+	ViolStart time.Time `json:"viol_start"`
+}
+
+// incExistsWithin tracks the violation predicate E(ref) ∧ ¬E(tgt) per
+// pair through the event stream.  Only writes to a pair's own items can
+// flip the predicate, so events dispatch by item key instead of every
+// pair re-walking every event.
+type incExistsWithin struct {
+	g       ExistsWithin
+	pairs   map[string]*ewPairState // pair key -> carried window
+	lastSeq uint64
+	haveSeq bool
+	byItem  map[string][]*ewPairState // item key -> affected pairs (rebuilt, not serialized)
+}
+
+func (c *incExistsWithin) syncPairs(tr *trace.Trace, ix *famIndex, rep *Report) {
+	changed := c.byItem == nil
+	for _, pair := range ix.pairs(c.g.Ref, c.g.Target) {
+		key := pair[0].Key()
+		if _, ok := c.pairs[key]; ok {
+			continue
+		}
+		st := &ewPairState{RefKey: pair[0].Key(), TgtKey: pair[1].Key()}
+		c.pairs[key] = st
+		rep.Checked++
+		// The initial consider: before its first retained event the pair's
+		// items hold their base values.
+		c.consider(st, time.Time{}, tr.Initial(), rep)
+		changed = true
+	}
+	if changed {
+		c.byItem = map[string][]*ewPairState{}
+		for _, st := range c.pairs {
+			c.byItem[st.RefKey] = append(c.byItem[st.RefKey], st)
+			if st.TgtKey != st.RefKey {
+				c.byItem[st.TgtKey] = append(c.byItem[st.TgtKey], st)
+			}
+		}
+	}
+}
+
+// hasKey is Interpretation.Has over a pre-rendered item key.
+func hasKey(in data.Interpretation, key string) bool {
+	v, ok := in[key]
+	return ok && !v.IsNull()
+}
+
+func (c *incExistsWithin) consider(st *ewPairState, at time.Time, in data.Interpretation, rep *Report) {
+	bad := hasKey(in, st.RefKey) && !hasKey(in, st.TgtKey)
+	switch {
+	case bad && !st.InViol:
+		st.InViol = true
+		st.ViolStart = at
+	case !bad && st.InViol:
+		st.InViol = false
+		if at.Sub(st.ViolStart) > c.g.Kappa {
+			rep.violate("%s existed without %s for %s starting %s",
+				st.RefKey, st.TgtKey, at.Sub(st.ViolStart), st.ViolStart.Format(time.TimeOnly))
+		}
+	}
+}
+
+func (c *incExistsWithin) advance(tr *trace.Trace, ix *famIndex, end time.Time, rep *Report) {
+	c.syncPairs(tr, ix, rep)
+	tr.WalkNewStates(func(e *event.Event, in data.Interpretation) bool {
+		if c.haveSeq && e.Seq <= c.lastSeq {
+			return true
+		}
+		c.lastSeq, c.haveSeq = e.Seq, true
+		if !e.Desc.Op.IsWrite() {
+			return true
+		}
+		for _, st := range c.byItem[e.Desc.Item.Key()] {
+			c.consider(st, e.Time, in, rep)
+		}
+		return true
+	})
+}
+
+func (c *incExistsWithin) finish(tr *trace.Trace, ix *famIndex, end time.Time, rep *Report) {
+	c.advance(tr, ix, end, rep)
+	for _, key := range sortedPairKeys(c.pairs) {
+		st := c.pairs[key]
+		if st.InViol && end.Sub(st.ViolStart) > c.g.Kappa {
+			rep.violate("%s existed without %s for %s starting %s (unresolved at end of trace)",
+				st.RefKey, st.TgtKey, end.Sub(st.ViolStart), st.ViolStart.Format(time.TimeOnly))
+		}
+	}
+}
+
+func (c *incExistsWithin) horizon(end time.Time) time.Time { return end.Add(-c.g.Kappa) }
+
+func (c *incExistsWithin) clone() incremental {
+	out := &incExistsWithin{g: c.g, pairs: map[string]*ewPairState{}, lastSeq: c.lastSeq, haveSeq: c.haveSeq}
+	for k, v := range c.pairs {
+		cp := *v
+		out.pairs[k] = &cp
+	}
+	return out
+}
+
+type ewWire struct {
+	Pairs   map[string]*ewPairState `json:"pairs"`
+	LastSeq uint64                  `json:"last_seq"`
+	HaveSeq bool                    `json:"have_seq"`
+}
+
+func (c *incExistsWithin) marshal() (json.RawMessage, error) {
+	return json.Marshal(ewWire{Pairs: c.pairs, LastSeq: c.lastSeq, HaveSeq: c.haveSeq})
+}
+
+func (c *incExistsWithin) unmarshal(raw json.RawMessage) error {
+	var w ewWire
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return err
+	}
+	if w.Pairs == nil {
+		w.Pairs = map[string]*ewPairState{}
+	}
+	c.pairs, c.lastSeq, c.haveSeq = w.Pairs, w.LastSeq, w.HaveSeq
+	c.byItem = nil // rebuilt on next syncPairs
+	return nil
+}
+
+func sortedPairKeys(m map[string]*ewPairState) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// incInvariant evaluates the predicate at the initial state and after
+// every event, exactly once per event: the obligation at each state is
+// decided on the spot, so the invariant needs no retained history at
+// all.
+type incInvariant struct {
+	g       Invariant
+	started bool
+	lastSeq uint64
+	haveSeq bool
+}
+
+func (c *incInvariant) evalAt(at time.Time, in data.Interpretation, rep *Report) {
+	rep.Checked++
+	ok, err := rule.EvalBool(c.g.Pred, envOf(in))
+	if err != nil {
+		rep.violate("evaluation error at %s: %v", at.Format(time.TimeOnly), err)
+		return
+	}
+	if !ok {
+		rep.violate("invariant false at %s in state %s", at.Format(time.TimeOnly), in)
+	}
+}
+
+func (c *incInvariant) advance(tr *trace.Trace, ix *famIndex, end time.Time, rep *Report) {
+	if !c.started {
+		c.started = true
+		c.evalAt(time.Time{}, tr.Initial(), rep)
+	}
+	tr.WalkNewStates(func(e *event.Event, in data.Interpretation) bool {
+		if c.haveSeq && e.Seq <= c.lastSeq {
+			return true
+		}
+		c.lastSeq, c.haveSeq = e.Seq, true
+		c.evalAt(e.Time, in, rep)
+		return true
+	})
+}
+
+func (c *incInvariant) finish(tr *trace.Trace, ix *famIndex, end time.Time, rep *Report) {
+	c.advance(tr, ix, end, rep)
+}
+
+func (c *incInvariant) horizon(end time.Time) time.Time { return end }
+
+func (c *incInvariant) clone() incremental {
+	cp := *c
+	return &cp
+}
+
+type invWire struct {
+	Started bool   `json:"started"`
+	LastSeq uint64 `json:"last_seq"`
+	HaveSeq bool   `json:"have_seq"`
+}
+
+func (c *incInvariant) marshal() (json.RawMessage, error) {
+	return json.Marshal(invWire{Started: c.started, LastSeq: c.lastSeq, HaveSeq: c.haveSeq})
+}
+
+func (c *incInvariant) unmarshal(raw json.RawMessage) error {
+	var w invWire
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return err
+	}
+	c.started, c.lastSeq, c.haveSeq = w.Started, w.LastSeq, w.HaveSeq
+	return nil
+}

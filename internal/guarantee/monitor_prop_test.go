@@ -1,0 +1,136 @@
+package guarantee
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cmtk/internal/data"
+	"cmtk/internal/event"
+	"cmtk/internal/trace"
+)
+
+// TestHorizonProperty is the retention-safety property test: whatever
+// random execution runs and whatever bounded windows are registered
+// (including κ=0 and zero-window invariants), folding everything before
+// Monitor.Horizon() after every advance never changes a verdict —
+// equivalently, no pruned event could still have participated in any
+// pending guarantee window.  Each iteration replays one random workload
+// twice: an unpruned control checked in batch, and an adversarially
+// compacted arm checked by the monitor, optionally with a mid-run
+// handoff to a re-registered monitor (the rebalance path).
+func TestHorizonProperty(t *testing.T) {
+	bases := []string{"X", "Y", "Z"}
+	items := make([]data.ItemName, len(bases))
+	for i, b := range bases {
+		items[i] = data.Item(b)
+	}
+	for iter := 0; iter < 60; iter++ {
+		iter := iter
+		t.Run(fmt.Sprintf("iter=%d", iter), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + iter)))
+
+			// Random bounded guarantee set; κ=0 and duplicate pairs on
+			// purpose.
+			kappas := []time.Duration{0, time.Second, 3 * time.Second, 7 * time.Second}
+			gs := []Guarantee{
+				MetricFollows{X: "X", Y: "Y", Kappa: kappas[rng.Intn(len(kappas))]},
+				MetricLeads{X: "X", Y: "Y", Kappa: kappas[rng.Intn(len(kappas))]},
+				ExistsWithin{Ref: "Y", Target: "Z", Kappa: kappas[rng.Intn(len(kappas))]},
+			}
+
+			// Random workload: mostly propagate X→Y→Z with jittered lag,
+			// sometimes invent values or stall propagation so violated
+			// executions are exercised too.  Time advances in whole-second
+			// steps with occasional same-instant bursts.
+			control := trace.New(nil)
+			sec := 0
+			appendW := func(tr *trace.Trace, s int, item data.ItemName, v int64) {
+				tr.Append(&event.Event{Time: at(s), Site: "s", Desc: event.W(item, data.NewInt(v))})
+			}
+			type rec struct {
+				s    int
+				item data.ItemName
+				v    int64
+			}
+			var script []rec
+			for i := 0; i < 80+rng.Intn(80); i++ {
+				v := int64(rng.Intn(8))
+				script = append(script, rec{sec, items[0], v})
+				if rng.Intn(10) > 0 { // usually propagate
+					lag := rng.Intn(4)
+					script = append(script, rec{sec + lag, items[1], v})
+					if rng.Intn(4) > 0 {
+						script = append(script, rec{sec + lag + rng.Intn(3), items[2], v})
+					}
+				}
+				if rng.Intn(12) == 0 { // invented value on Y
+					script = append(script, rec{sec + 1, items[1], 100 + int64(rng.Intn(5))})
+				}
+				sec += 1 + rng.Intn(3)
+			}
+			// Script times must be nondecreasing for replay.
+			for i := 1; i < len(script); i++ {
+				if script[i].s < script[i-1].s {
+					script[i].s = script[i-1].s
+				}
+			}
+			for _, r := range script {
+				appendW(control, r.s, r.item, r.v)
+			}
+			want := CheckAll(control, gs...)
+
+			// Compacted arm: advance + fold exactly at the horizon every
+			// few events; optionally hand off mid-run.
+			m, err := NewMonitor(gs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := trace.New(nil)
+			handoffAt := -1
+			if rng.Intn(2) == 0 {
+				handoffAt = rng.Intn(len(script))
+			}
+			cadence := 1 + rng.Intn(9)
+			for i, r := range script {
+				appendW(tr, r.s, r.item, r.v)
+				if i == handoffAt {
+					blob, err := m.Handoff()
+					if err != nil {
+						t.Fatal(err)
+					}
+					m2, err := NewMonitor(gs...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := m2.Resume(blob); err != nil {
+						t.Fatal(err)
+					}
+					m = m2
+				}
+				if (i+1)%cadence == 0 {
+					m.Advance(tr)
+					if h, ok := m.Horizon(); ok {
+						before := tr.BaseSeq()
+						stats := tr.CompactBefore(h, 0)
+						// The fold must be a prefix strictly older than the
+						// horizon: no pruned event could participate in a
+						// pending window.
+						if stats.PrunedEvents > 0 && !stats.CutTime.Before(h) {
+							t.Fatalf("pruned up to %v, horizon %v", stats.CutTime, h)
+						}
+						if stats.CutSeq < before {
+							t.Fatal("cut moved backwards")
+						}
+					}
+				}
+			}
+			got := m.Reports(tr)
+			if !EqualVerdicts(want, got) {
+				t.Fatalf("verdicts diverged (cadence=%d handoff=%d):\nbatch:   %+v\nmonitor: %+v",
+					cadence, handoffAt, want, got)
+			}
+		})
+	}
+}

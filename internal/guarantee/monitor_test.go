@@ -1,0 +1,193 @@
+package guarantee
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cmtk/internal/data"
+	"cmtk/internal/event"
+	"cmtk/internal/rule"
+	"cmtk/internal/trace"
+)
+
+func monitoredSet() []Guarantee {
+	pred, err := rule.ParseExpr("X >= 0")
+	if err != nil {
+		panic(err)
+	}
+	return []Guarantee{
+		MetricFollows{X: "X", Y: "Y", Kappa: 5 * time.Second},
+		MetricLeads{X: "X", Y: "Y", Kappa: 5 * time.Second},
+		ExistsWithin{Ref: "X", Target: "Y", Kappa: 8 * time.Second},
+		Invariant{Label: "x-nonneg", Pred: pred},
+	}
+}
+
+// advanceEvery replays the source trace into a fresh one in chunks,
+// advancing the monitor after each chunk; between chunks it compacts at
+// the monitor's horizon (minus hold) when compact is set.  Returns the
+// replayed trace.
+func replayMonitored(t *testing.T, src *trace.Trace, m *Monitor, chunk int, compact bool) *trace.Trace {
+	t.Helper()
+	tr := trace.New(src.Initial())
+	for i, e := range src.Events() {
+		tr.Append(&event.Event{Time: e.Time, Site: e.Site, Host: e.Host, Desc: e.Desc, Rule: e.Rule})
+		if (i+1)%chunk == 0 {
+			m.Advance(tr)
+			if h, ok := m.Horizon(); compact && ok {
+				tr.CompactBefore(h, 0)
+			}
+		}
+	}
+	return tr
+}
+
+// TestMonitorMatchesBatch incremental verdicts over a compacted trace
+// must be byte-identical to the batch checker over the full history,
+// for holding and violated executions alike.
+func TestMonitorMatchesBatch(t *testing.T) {
+	cases := map[string]func() *trace.Trace{
+		"holds": func() *trace.Trace { return propagated([]int64{1, 2, 3, 4, 5, 6}, 3) },
+		"late-propagation": func() *trace.Trace {
+			tr := propagated([]int64{1, 2, 3}, 3)
+			write(tr, 400, itemX, data.NewInt(9))
+			write(tr, 409, itemY, data.NewInt(9)) // misses both κ=5s windows
+			write(tr, 500, data.Item("Z"), data.NewInt(0))
+			return tr
+		},
+		"invented-value": func() *trace.Trace {
+			tr := propagated([]int64{1, 2}, 3)
+			write(tr, 300, itemY, data.NewInt(77)) // X never held 77
+			write(tr, 400, data.Item("Z"), data.NewInt(0))
+			return tr
+		},
+	}
+	for name, mk := range cases {
+		for _, compact := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/compact=%v", name, compact), func(t *testing.T) {
+				src := mk()
+				want := CheckAll(src, monitoredSet()...)
+				m, err := NewMonitor(monitoredSet()...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr := replayMonitored(t, src, m, 4, compact)
+				got := m.Reports(tr)
+				if !EqualVerdicts(want, got) {
+					t.Fatalf("verdicts diverged:\nbatch: %+v\nmonitor: %+v", want, got)
+				}
+				if compact {
+					if pe, _ := tr.Pruned(); pe == 0 {
+						t.Fatal("compaction pruned nothing; test exercised nothing")
+					}
+				}
+				// Reports must be repeatable (non-destructive).
+				if again := m.Reports(tr); !EqualVerdicts(got, again) {
+					t.Fatal("second Reports call diverged")
+				}
+			})
+		}
+	}
+}
+
+// TestMonitorRejectsUnbounded the unbounded forms cannot be monitored
+// incrementally and must be rejected at registration.
+func TestMonitorRejectsUnbounded(t *testing.T) {
+	for _, g := range []Guarantee{
+		Follows{X: "X", Y: "Y"},
+		Leads{X: "X", Y: "Y"},
+		StrictlyFollows{X: "X", Y: "Y"},
+		MonitorFlag{X: itemX, Y: itemY, Flag: data.Item("F"), Tb: data.Item("Tb"), Kappa: time.Second},
+	} {
+		if _, err := NewMonitor(g); err == nil {
+			t.Errorf("%s: registration succeeded, want rejection", g.Name())
+		}
+	}
+}
+
+// TestMonitorHorizonAdvances the horizon must trail the trace end by at
+// most the widest retention lookback and move forward monotonically.
+func TestMonitorHorizonAdvances(t *testing.T) {
+	m, err := NewMonitor(monitoredSet()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Horizon(); ok {
+		t.Fatal("horizon valid before any Advance")
+	}
+	tr := trace.New(nil)
+	var prev time.Time
+	for i := 0; i < 30; i++ {
+		write(tr, i*10, itemX, data.NewInt(int64(i)))
+		write(tr, i*10+3, itemY, data.NewInt(int64(i)))
+		m.Advance(tr)
+		h, ok := m.Horizon()
+		if !ok {
+			t.Fatal("no horizon after Advance")
+		}
+		if h.Before(prev) {
+			t.Fatalf("horizon moved backwards: %v -> %v", prev, h)
+		}
+		// Widest lookback here is metric-leads' 2κ = 10s.
+		if lag := tr.End().Sub(h); lag > 10*time.Second {
+			t.Fatalf("horizon lags end by %v", lag)
+		}
+		prev = h
+	}
+	if m.Widest() != 8*time.Second {
+		t.Fatalf("Widest = %v", m.Widest())
+	}
+}
+
+// TestMonitorHandoffResume pending obligations survive the
+// export/import path a rebalance uses: verdicts after a mid-run handoff
+// equal the batch verdicts, and re-registered windows do not re-open
+// discharged obligations (Checked counts stay exact).
+func TestMonitorHandoffResume(t *testing.T) {
+	src := propagated([]int64{1, 2, 3, 4, 5, 6, 7, 8}, 3)
+	want := CheckAll(src, monitoredSet()...)
+
+	m1, err := NewMonitor(monitoredSet()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(src.Initial())
+	events := src.Events()
+	half := len(events) / 2
+	for _, e := range events[:half] {
+		tr.Append(&event.Event{Time: e.Time, Site: e.Site, Desc: e.Desc})
+	}
+	m1.Advance(tr)
+	blob, err := m1.Handoff()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := NewMonitor(monitoredSet()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Resume(blob); err != nil {
+		t.Fatal(err)
+	}
+	if h1, ok1 := m1.Horizon(); ok1 {
+		if h2, ok2 := m2.Horizon(); !ok2 || !h1.Equal(h2) {
+			t.Fatalf("horizon not carried: %v vs %v", h1, h2)
+		}
+	}
+	for _, e := range events[half:] {
+		tr.Append(&event.Event{Time: e.Time, Site: e.Site, Desc: e.Desc})
+		m2.Advance(tr)
+	}
+	got := m2.Reports(tr)
+	if !EqualVerdicts(want, got) {
+		t.Fatalf("verdicts diverged after handoff:\nbatch: %+v\nresumed: %+v", want, got)
+	}
+
+	// Resume of an unknown guarantee must fail loudly.
+	m3, _ := NewMonitor(monitoredSet()[:1]...)
+	if err := m3.Resume(blob); err == nil {
+		t.Fatal("Resume with missing registrations succeeded")
+	}
+}

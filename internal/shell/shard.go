@@ -14,12 +14,14 @@
 package shell
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strconv"
 
 	"cmtk/internal/cmi"
 	"cmtk/internal/data"
+	"cmtk/internal/durable"
 	"cmtk/internal/event"
 	"cmtk/internal/rule"
 	"cmtk/internal/transport"
@@ -309,6 +311,60 @@ func (s *Shell) ExportPrivate(sel func(base string) bool, remove bool) map[strin
 		}
 	}
 	return out
+}
+
+// handoffMeta is the verifiable frame around a private-state handoff:
+// who exported it and how many items, so an importer can cross-check
+// the payload against the exporter's intent.
+type handoffMeta struct {
+	From  string `json:"from"`
+	Items int    `json:"items"`
+}
+
+// ExportPrivateSnap is ExportPrivate wrapped in a sectioned, CRC-framed
+// snapshot — the verified handoff payload of a fleet rebalance.  The
+// receiving ImportPrivateSnap refuses a payload that rotted in flight
+// or on a relay's disk, instead of silently installing damaged
+// constraint state under a new epoch.
+func (s *Shell) ExportPrivateSnap(sel func(base string) bool, remove bool) []byte {
+	items := s.ExportPrivate(sel, remove)
+	meta, _ := json.Marshal(handoffMeta{From: s.id, Items: len(items)})
+	payload, _ := json.Marshal(items)
+	return durable.EncodeSections([]durable.Section{
+		{Name: "meta", Data: meta},
+		{Name: "private", Data: payload},
+	})
+}
+
+// ImportPrivateSnap verifies a sectioned handoff and installs its items
+// all-or-nothing: any section failing its CRC (or a payload that does
+// not match the exporter's declared item count) rejects the whole
+// snapshot and installs nothing.  It returns the number of items
+// imported plus the granular section report.
+func (s *Shell) ImportPrivateSnap(snap []byte) (int, durable.ImportReport, error) {
+	secs, rep := durable.DecodeSections(snap)
+	if err := rep.Err(); err != nil {
+		return 0, rep, fmt.Errorf("shell %s: handoff rejected: %w", s.id, err)
+	}
+	var meta handoffMeta
+	if raw, ok := secs["meta"]; ok {
+		if err := json.Unmarshal(raw, &meta); err != nil {
+			return 0, rep, fmt.Errorf("shell %s: handoff meta: %w", s.id, err)
+		}
+	} else {
+		return 0, rep, fmt.Errorf("shell %s: handoff missing meta section", s.id)
+	}
+	var items map[string]string
+	if err := json.Unmarshal(secs["private"], &items); err != nil {
+		return 0, rep, fmt.Errorf("shell %s: handoff payload: %w", s.id, err)
+	}
+	if len(items) != meta.Items {
+		return 0, rep, fmt.Errorf("shell %s: handoff declared %d items, carries %d", s.id, meta.Items, len(items))
+	}
+	if err := s.ImportPrivate(items); err != nil {
+		return 0, rep, err
+	}
+	return len(items), rep, nil
 }
 
 // ImportPrivate installs handed-off CM-private items, journaling each

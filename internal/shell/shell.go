@@ -180,6 +180,11 @@ type Shell struct {
 	// observability handles, resolved once at construction (atomic on the
 	// hot path; see package obs)
 	m shellMetrics
+
+	// bounded-memory retention (guarantee-aware trace compaction); set by
+	// EnableRetention, nil otherwise
+	retainMu sync.Mutex
+	retain   *retention
 }
 
 // shellMetrics bundles the shell's pre-resolved obs handles plus the

@@ -1,0 +1,313 @@
+// Guarantee-aware compaction: the trace folds event prefixes that can
+// no longer change any verdict into its per-shard base interpretations,
+// making trace memory proportional to the retention horizon instead of
+// to the execution's age.
+//
+// The horizon comes from the caller (normally guarantee.Monitor): any
+// event older than the widest pending guarantee window — plus
+// demarcation/strategy holds — can never participate in a check again,
+// so its only remaining contribution is its write effect, which the
+// fold preserves exactly.  This is the amalgamated-knowledge-base move:
+// a certified base state plus a bounded delta log.
+//
+// Locking: CompactBefore takes the commit mutex (rank 20) and then
+// every shard mutex in ascending index order (rank 30) — the same rank
+// sequence AppendUnit uses — so compaction is atomic with respect to
+// both single appends and unit commits.  DESIGN.md §12 documents the
+// retention model; cmlint's lockorder analyzer machine-checks the rank
+// annotations.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cmtk/internal/data"
+	"cmtk/internal/event"
+)
+
+// CompactStats reports what one CompactBefore call folded away.
+type CompactStats struct {
+	PrunedEvents int       // events removed from the shards this call
+	PrunedBytes  uint64    // estimated heap bytes those events pinned
+	CutSeq       uint64    // first retained sequence number after the call
+	CutTime      time.Time // time of the last folded event (zero when none)
+	Retained     int       // events still held after the call
+}
+
+// CompactBefore folds away every event the trace can prove irrelevant
+// to instants at or after horizon, and returns what it pruned.  hold
+// widens the band of folded events that keep materialized state views:
+// folded events young enough that a retained (or soon-to-be-appended)
+// event may still reference them as its trigger get eager old/new maps
+// before their timelines are cut, so Appendix A.2 provenance checks on
+// the retained suffix keep answering exactly as before.  Callers pass
+// the widest rule δ plus any demarcation hold.
+//
+// The cut is a global sequence prefix: the minimum across shards of the
+// first event at or after horizon.  Taking the minimum means every
+// pruned event is older than horizon AND no retained event is ordered
+// before a pruned one, so per-shard state reconstruction from the new
+// base stays exact for every retained sequence point.
+//
+// The call is a no-op (zero stats) when nothing is old enough to fold.
+//
+//cmlint:acquires 20, 30
+func (t *Trace) CompactBefore(horizon time.Time, hold time.Duration) CompactStats {
+	t.commitMu.Lock()
+	defer t.commitMu.Unlock()
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range t.shards {
+			t.shards[i].mu.Unlock()
+		}
+	}()
+
+	// Pass 1: the cut is the smallest sequence number that must survive.
+	// Shard event lists are time-nondecreasing in any healthy trace; the
+	// scan is linear in the pruned prefix, so compaction costs O(pruned),
+	// not O(retained).
+	cut := t.seq.Load() // all events eligible unless some shard bounds us
+	for i := range t.shards {
+		sh := &t.shards[i]
+		j := 0
+		for j < len(sh.events) && sh.events[j].Time.Before(horizon) {
+			j++
+		}
+		if j < len(sh.events) && sh.events[j].Seq < cut {
+			cut = sh.events[j].Seq
+		}
+	}
+	if cut <= t.baseSeq.Load() {
+		return CompactStats{CutSeq: t.baseSeq.Load(), Retained: t.lenLocked()}
+	}
+
+	// Pass 2: collect the pruned prefixes and decide which folded events
+	// must keep materialized state views — those inside the hold band
+	// plus any already referenced as a trigger by a retained event.
+	parts := make([][]*event.Event, 0, len(t.shards))
+	cuts := make([]int, len(t.shards))
+	total := 0
+	keep := map[*event.Event]bool{}
+	for i := range t.shards {
+		sh := &t.shards[i]
+		p := sort.Search(len(sh.events), func(j int) bool { return sh.events[j].Seq >= cut })
+		cuts[i] = p
+		if p > 0 {
+			parts = append(parts, sh.events[:p])
+			total += p
+		}
+		for _, e := range sh.events[p:] {
+			if tr := e.Trigger; tr != nil && tr.Seq < cut && !tr.HasEagerStates() {
+				keep[tr] = true
+			}
+		}
+	}
+	pruned := mergeBySeq(parts, total)
+	bandStart := horizon.Add(-hold)
+
+	// Pass 3: walk the pruned prefix in sequence order, materializing
+	// eager views where needed, severing trigger chains so the folded
+	// events stop pinning the history behind them, and accounting bytes.
+	state := data.NewInterpretation()
+	for i := range t.shards {
+		for k, v := range t.shards[i].base {
+			state[k] = v
+		}
+	}
+	var bytes uint64
+	var cutTime time.Time
+	for _, e := range pruned {
+		need := !e.HasEagerStates() && (keep[e] || !e.Time.Before(bandStart))
+		var old data.Interpretation
+		if need {
+			old = state.Clone()
+		}
+		if e.Desc.Op.IsWrite() {
+			state.Set(e.Desc.Item, e.Desc.Val)
+		}
+		if need {
+			e.SetStates(old, state.Clone())
+		}
+		e.Trigger = nil
+		bytes += eventFootprint(e)
+		cutTime = e.Time
+	}
+
+	// Pass 4: fold each shard's pruned writes into its base, cut the
+	// event and timeline prefixes (copying, so the backing arrays of the
+	// folded prefix are released), and publish the accounting.
+	for i := range t.shards {
+		sh := &t.shards[i]
+		p := cuts[i]
+		if p == 0 {
+			continue
+		}
+		touched := map[string]bool{}
+		for _, e := range sh.events[:p] {
+			if e.Desc.Op.IsWrite() {
+				sh.base.Set(e.Desc.Item, e.Desc.Val)
+				touched[e.Desc.Item.Key()] = true
+			}
+		}
+		sh.events = append(make([]*event.Event, 0, len(sh.events)-p), sh.events[p:]...)
+		for key := range touched {
+			tl := sh.timelines[key]
+			q := sort.Search(len(tl), func(j int) bool { return tl[j].Seq >= cut })
+			if q == len(tl) {
+				delete(sh.timelines, key)
+			} else if q > 0 {
+				sh.timelines[key] = append(make([]*event.Event, 0, len(tl)-q), tl[q:]...)
+			}
+		}
+	}
+	t.baseSeq.Store(cut)
+	if !cutTime.IsZero() {
+		t.baseNanos.Store(cutTime.UnixNano())
+	}
+	t.prunedEvents.Add(uint64(total))
+	t.prunedBytes.Add(bytes)
+	return CompactStats{
+		PrunedEvents: total,
+		PrunedBytes:  bytes,
+		CutSeq:       cut,
+		CutTime:      cutTime,
+		Retained:     t.lenLocked(),
+	}
+}
+
+// lenLocked counts retained events; every shard lock is already held.
+func (t *Trace) lenLocked() int {
+	n := 0
+	for i := range t.shards {
+		n += len(t.shards[i].events)
+	}
+	return n
+}
+
+// eventFootprint estimates the heap bytes one recorded event pins: the
+// struct, its descriptor strings, a timeline slot, and any eager state
+// maps.  An estimate is enough — the accounting exists so operators can
+// see pruning keep pace with recording, not to balance an allocator.
+func eventFootprint(e *event.Event) uint64 {
+	n := 176 + len(e.Site) + len(e.Host) + len(e.Desc.Item.Base) + 16*len(e.Desc.Item.Args)
+	if e.HasEagerStates() {
+		n += 48 * (len(e.Old()) + len(e.New()))
+	}
+	return uint64(n)
+}
+
+// BaseSeq returns the first retained sequence number: 0 until the first
+// compaction or restore, the fold cut afterwards.
+func (t *Trace) BaseSeq() uint64 { return t.baseSeq.Load() }
+
+// BaseTime returns the timestamp of the last folded event, or the zero
+// time when nothing has been folded.
+func (t *Trace) BaseTime() time.Time {
+	n := t.baseNanos.Load()
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+// Pruned reports the cumulative folded-away totals: events and their
+// estimated bytes.  Len() counts only retained events, so the lifetime
+// event count is Pruned events + Len().
+func (t *Trace) Pruned() (events, bytes uint64) {
+	return t.prunedEvents.Load(), t.prunedBytes.Load()
+}
+
+// TotalEvents reports the lifetime number of recorded events, folded or
+// retained.
+func (t *Trace) TotalEvents() uint64 {
+	return t.prunedEvents.Load() + uint64(t.Len())
+}
+
+// CheckpointState is the trace's exportable fold: everything a restart
+// needs to resume recording without the history.  Base maps item keys
+// to literal renderings of their values at the checkpoint instant;
+// NextSeq is where sequence numbering resumes so restored executions
+// never reuse a folded sequence number.
+type CheckpointState struct {
+	NextSeq      uint64            `json:"next_seq"`
+	BaseTime     time.Time         `json:"base_time"`
+	PrunedEvents uint64            `json:"pruned_events"`
+	PrunedBytes  uint64            `json:"pruned_bytes"`
+	Base         map[string]string `json:"base"`
+}
+
+// Checkpoint captures the full current state as a restorable fold: the
+// final interpretation, the next sequence number, and the lifetime
+// accounting (everything up to the checkpoint counts as folded once a
+// restart restores from it).  Taken under the commit mutex so the
+// snapshot sits on a unit boundary.
+//
+//cmlint:acquires 20, 30
+func (t *Trace) Checkpoint() CheckpointState {
+	t.commitMu.Lock()
+	defer t.commitMu.Unlock()
+	cs := CheckpointState{Base: map[string]string{}}
+	retained := 0
+	var last time.Time
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.state {
+			cs.Base[k] = v.String()
+		}
+		if n := len(sh.events); n > 0 {
+			if at := sh.events[n-1].Time; at.After(last) {
+				last = at
+			}
+		}
+		retained += len(sh.events)
+		sh.mu.Unlock()
+	}
+	cs.NextSeq = t.seq.Load()
+	cs.BaseTime = last
+	if last.IsZero() {
+		cs.BaseTime = t.BaseTime()
+	}
+	cs.PrunedEvents = t.prunedEvents.Load() + uint64(retained)
+	cs.PrunedBytes = t.prunedBytes.Load()
+	return cs
+}
+
+// Restore seeds an empty trace from a checkpoint: shard bases and
+// current state become the checkpointed interpretation, sequence
+// numbering resumes at NextSeq, and the fold accounting carries over.
+// Only a trace that has recorded nothing can be restored.
+func (t *Trace) Restore(cs CheckpointState) error {
+	t.commitMu.Lock()
+	defer t.commitMu.Unlock()
+	if t.seq.Load() != 0 || t.prunedEvents.Load() != 0 {
+		return fmt.Errorf("trace: restore into a non-empty trace (seq=%d)", t.seq.Load())
+	}
+	for key, lit := range cs.Base {
+		item, err := data.ParseItemName(key)
+		if err != nil {
+			return fmt.Errorf("trace: checkpoint item %q: %w", key, err)
+		}
+		v, err := data.ParseLiteral(lit)
+		if err != nil {
+			return fmt.Errorf("trace: checkpoint value %q for %q: %w", lit, key, err)
+		}
+		sh := &t.shards[t.ShardOf(item.Base)]
+		sh.mu.Lock()
+		sh.base.Set(item, v)
+		sh.state.Set(item, v)
+		sh.mu.Unlock()
+	}
+	t.seq.Store(cs.NextSeq)
+	t.baseSeq.Store(cs.NextSeq)
+	if !cs.BaseTime.IsZero() {
+		t.baseNanos.Store(cs.BaseTime.UnixNano())
+	}
+	t.prunedEvents.Store(cs.PrunedEvents)
+	t.prunedBytes.Store(cs.PrunedBytes)
+	return nil
+}

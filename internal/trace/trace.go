@@ -52,10 +52,16 @@ import (
 // events can answer for their old/new components per Appendix A.2
 // properties 2 and 3.  Trace is safe for concurrent use.
 type Trace struct {
-	initial data.Interpretation
-	shards  []traceShard
-	mask    uint64
-	seq     atomic.Uint64
+	shards []traceShard
+	mask   uint64
+	seq    atomic.Uint64
+	// Retention accounting (see compact.go).  baseSeq is the first
+	// retained sequence number: every event below it has been folded into
+	// the shard base interpretations by CompactBefore or Restore.
+	baseSeq      atomic.Uint64
+	baseNanos    atomic.Int64 // Time of the last folded event (UnixNano; 0 = none)
+	prunedEvents atomic.Uint64
+	prunedBytes  atomic.Uint64
 	// commitMu serializes AppendUnit commits: sequence-block assignment,
 	// commit-time stamping, shard publication, and the caller's post-commit
 	// hook happen atomically with respect to other units.
@@ -72,7 +78,13 @@ type Trace struct {
 type traceShard struct {
 	//cmlint:lockrank 30
 	mu     sync.Mutex
-	events []*event.Event // seq-ascending
+	events []*event.Event // seq-ascending, all with Seq >= the trace's baseSeq
+	// base is the folded initial interpretation for this shard's items:
+	// the trace's initial state overlaid with every write that compaction
+	// has pruned.  Lazy state reconstruction (stateAtSeq, Timeline) starts
+	// from base instead of the construction-time initial, so folding a
+	// prefix away never changes what the retained suffix reports.
+	base data.Interpretation
 	// timelines holds, per item key, the performed-write events on that
 	// item in sequence order.  Write events are the only ones that change
 	// state, so the timelines are a complete versioned store: the state
@@ -106,18 +118,21 @@ func NewSharded(initial data.Interpretation, n int) *Trace {
 		shards <<= 1
 	}
 	t := &Trace{
-		initial: initial.Clone(),
-		shards:  make([]traceShard, shards),
-		mask:    uint64(shards - 1),
+		shards: make([]traceShard, shards),
+		mask:   uint64(shards - 1),
 	}
 	for i := range t.shards {
 		t.shards[i].timelines = map[string][]*event.Event{}
+		t.shards[i].base = data.NewInterpretation()
 		t.shards[i].state = data.NewInterpretation()
 	}
-	// Seed each shard's state slice with the initial items that hash to it,
-	// so Final and stateAtSeq are disjoint unions of the shards.
-	for key, v := range t.initial {
-		t.shards[t.ShardOf(baseOfKey(key))].state[key] = v
+	// Seed each shard's base and state slices with the initial items that
+	// hash to it, so Initial, Final and stateAtSeq are disjoint unions of
+	// the shards.
+	for key, v := range initial {
+		sh := &t.shards[t.ShardOf(baseOfKey(key))]
+		sh.base[key] = v
+		sh.state[key] = v
 	}
 	return t
 }
@@ -270,19 +285,25 @@ func (t *Trace) StateAfter(seq uint64) data.Interpretation {
 	return t.stateAtSeq(seq, true)
 }
 
-// stateAtSeq materializes the interpretation at a sequence point:
-// initial overlaid with each item's last write before seq (or at seq,
-// when inclusive).  O(items × log writes).  All shard locks are taken in
-// index order for a consistent cross-shard snapshot.
+// stateAtSeq materializes the interpretation at a sequence point: the
+// folded base overlaid with each item's last retained write before seq
+// (or at seq, when inclusive).  O(items × log writes).  All shard locks
+// are taken in index order for a consistent cross-shard snapshot.  For
+// sequence points below the compaction cut the result is the folded
+// base itself — the trace no longer distinguishes states inside the
+// folded prefix.
 func (t *Trace) stateAtSeq(seq uint64, inclusive bool) data.Interpretation {
 	bound := seq
 	if inclusive {
 		bound++
 	}
-	out := t.initial.Clone()
+	out := data.NewInterpretation()
 	for i := range t.shards {
 		sh := &t.shards[i]
 		sh.mu.Lock()
+		for key, v := range sh.base {
+			out[key] = v
+		}
 		for key, tl := range sh.timelines {
 			// First write with w.Seq >= bound; the one before it is in force.
 			j := sort.Search(len(tl), func(j int) bool { return tl[j].Seq >= bound })
@@ -382,9 +403,22 @@ func (t *Trace) Len() int {
 	return n
 }
 
-// Initial returns the initial interpretation.
+// Initial returns the interpretation the retained suffix starts from:
+// the construction-time initial state for an uncompacted trace, or the
+// folded base (initial plus every pruned write) once CompactBefore has
+// run.  Shard bases are disjoint by item base, so the result is their
+// union.
 func (t *Trace) Initial() data.Interpretation {
-	return t.initial.Clone()
+	out := data.NewInterpretation()
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.base {
+			out[k] = v
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // Final returns the interpretation after the last recorded event.  Shard
@@ -421,7 +455,7 @@ func (t *Trace) StateAt(at time.Time) data.Interpretation {
 		last = i
 	}
 	if last < 0 {
-		return t.initial.Clone()
+		return t.Initial()
 	}
 	return t.stateAtSeq(events[last].Seq, true)
 }
@@ -466,7 +500,7 @@ func (t *Trace) Timeline(item data.ItemName) []Sample {
 	sh := &t.shards[t.ShardOf(item.Base)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	out := []Sample{{V: t.initial.Get(item)}}
+	out := []Sample{{V: sh.base.Get(item)}}
 	for _, e := range sh.timelines[item.Key()] {
 		v := e.Desc.Val
 		if !v.Equal(out[len(out)-1].V) {
